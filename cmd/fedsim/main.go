@@ -1,0 +1,308 @@
+// Command fedsim regenerates every experimental artifact of the FedClust
+// reproduction from the command line.
+//
+// Usage:
+//
+//	fedsim <experiment> [flags]
+//
+// Experiments:
+//
+//	table1           Table I — accuracy of 6 methods × 3 datasets, Dir(0.1)
+//	fig1             Fig. 1 — per-layer weight-distance matrices (VGG-16)
+//	comm             C1 — communication cost of cluster formation
+//	newcomer         F2 — dynamic newcomer incorporation (paper step ⑥)
+//	sweep-alpha      S1 — accuracy across Dirichlet heterogeneity levels
+//	scale            S2 — clustering/round time vs client count
+//	ablation-layer   A1 — cluster recovery per weight layer
+//	ablation-linkage A2 — FedClust under each HC linkage
+//
+// Common flags:
+//
+//	-quick        reduced workload (fewer clients/samples/rounds)
+//	-seed N       root seed (default 1)
+//	-seeds a,b,c  seed list for table1 (default 1,2,3)
+//	-csv path     also write results as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fedclust/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] == "-h" || os.Args[1] == "--help" || os.Args[1] == "help" {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced workload for fast runs")
+	seed := fs.Uint64("seed", 1, "root seed")
+	seedList := fs.String("seeds", "1,2,3", "comma-separated seeds (table1)")
+	csvPath := fs.String("csv", "", "also write results to this CSV file")
+	datasets := fs.String("datasets", "cifar10,fmnist,svhn", "datasets (table1)")
+	methodsFlag := fs.String("methods", strings.Join(experiments.MethodNames, ","), "methods (table1)")
+	rounds := fs.Int("rounds", 0, "override training rounds where applicable")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	switch cmd {
+	case "table1":
+		runTable1(*quick, parseSeeds(*seedList), splitList(*datasets), splitList(*methodsFlag), *csvPath)
+	case "fig1":
+		runFig1(*quick, *seed)
+	case "comm":
+		runComm(*quick, *seed, *rounds)
+	case "newcomer":
+		runNewcomer(*quick, *seed)
+	case "sweep-alpha":
+		runAlphaSweep(*quick, *seed)
+	case "scale":
+		runScale(*seed)
+	case "ablation-layer":
+		runLayerAblation(*quick, *seed)
+	case "ablation-linkage":
+		runLinkageAblation(*quick, *seed)
+	case "ablation-selector":
+		runSelectorAblation(*quick, *seed)
+	case "ablation-compression":
+		runCompressionAblation(*quick, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "fedsim: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `fedsim — FedClust reproduction harness
+
+usage: fedsim <experiment> [flags]
+
+experiments:
+  table1           Table I: accuracy, 6 methods x 3 datasets, Dir(0.1)
+  fig1             Fig. 1: per-layer weight-distance matrices (VGG-16)
+  comm             C1: communication cost of cluster formation
+  newcomer         F2: dynamic newcomer incorporation
+  sweep-alpha      S1: accuracy across heterogeneity levels
+  scale            S2: clustering/round time vs client count
+  ablation-layer   A1: cluster recovery per weight layer
+  ablation-linkage A2: FedClust under each HC linkage
+  ablation-selector A3: automatic cluster-count rules
+  ablation-compression A4: lossy upload codecs
+
+flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N`)
+}
+
+func parseSeeds(s string) []uint64 {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: bad seed %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = []uint64{1}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func runTable1(quick bool, seeds []uint64, datasets, methodNames []string, csvPath string) {
+	fmt.Println("== Table I: test accuracy under Non-IID Dir(0.1) ==")
+	opts := experiments.Table1Options{
+		Datasets: datasets,
+		Methods:  methodNames,
+		Seeds:    seeds,
+		Quick:    quick,
+		Progress: os.Stdout,
+	}
+	res := experiments.RunTable1(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+	if csvPath != "" {
+		writeTable1CSV(res, csvPath)
+	}
+}
+
+func writeTable1CSV(res *experiments.Table1Result, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	header := []string{"method", "dataset", "mean_acc_pct", "std_acc_pct", "paper_mean_pct"}
+	var rows [][]string
+	for _, m := range res.Methods {
+		for _, ds := range res.Datasets {
+			c := res.Cell(m, ds)
+			paper := ""
+			if p, ok := experiments.PaperTable1[m][ds]; ok {
+				paper = fmt.Sprintf("%.2f", p[0])
+			}
+			rows = append(rows, []string{m, ds,
+				fmt.Sprintf("%.2f", c.Mean()), fmt.Sprintf("%.2f", c.Std()), paper})
+		}
+	}
+	if err := experiments.WriteCSV(f, header, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func runFig1(quick bool, seed uint64) {
+	fmt.Println("== Fig. 1: distance matrices from different layer weights ==")
+	opts := experiments.DefaultFig1Options()
+	opts.Seed = seed
+	if quick {
+		opts.ClientsPerGroup = 3
+		opts.TrainPerClass = 40
+		opts.Epochs = 2
+	}
+	res := experiments.RunFig1(opts)
+	res.Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runComm(quick bool, seed uint64, rounds int) {
+	fmt.Println("== C1: communication cost of cluster formation ==")
+	opts := experiments.DefaultCommOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	if rounds > 0 {
+		opts.Rounds = rounds
+	}
+	opts.Progress = os.Stdout
+	res := experiments.RunComm(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runNewcomer(quick bool, seed uint64) {
+	fmt.Println("== F2: dynamic newcomer incorporation (paper step ⑥) ==")
+	opts := experiments.DefaultNewcomerOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunNewcomer(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runAlphaSweep(quick bool, seed uint64) {
+	fmt.Println("== S1: heterogeneity sweep (Dirichlet alpha) ==")
+	opts := experiments.DefaultAlphaSweepOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunAlphaSweep(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runScale(seed uint64) {
+	fmt.Println("== S2: scalability of one-shot clustering ==")
+	opts := experiments.DefaultScaleOptions()
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunScale(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+}
+
+func runLayerAblation(quick bool, seed uint64) {
+	fmt.Println("== A1: which layer's weights cluster best ==")
+	opts := experiments.DefaultLayerAblationOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunLayerAblation(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runLinkageAblation(quick bool, seed uint64) {
+	fmt.Println("== A2: FedClust under each HC linkage ==")
+	opts := experiments.DefaultLinkageAblationOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunLinkageAblation(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+}
+
+func runSelectorAblation(quick bool, seed uint64) {
+	fmt.Println("== A3: automatic cluster-count rules ==")
+	opts := experiments.DefaultSelectorAblationOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunSelectorAblation(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}
+
+func runCompressionAblation(quick bool, seed uint64) {
+	fmt.Println("== A4: lossy codecs for the clustering upload ==")
+	opts := experiments.DefaultCompressionOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Progress = os.Stdout
+	res := experiments.RunCompression(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+}

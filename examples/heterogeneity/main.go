@@ -1,0 +1,58 @@
+// Heterogeneity: how the FedClust-vs-FedAvg gap depends on how non-IID
+// the clients are.
+//
+// The Dirichlet concentration α controls label skew: α→0 gives each client
+// a nearly single-class dataset, α→∞ approaches IID. The example runs both
+// methods across α ∈ {0.05, 0.5, 10} and prints accuracy plus partition
+// diagnostics (label entropy, earth-mover skew), showing that clustering
+// pays off exactly when clients are heterogeneous — and is harmless when
+// they are not.
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+
+	"fedclust/internal/core"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/partition"
+	"fedclust/internal/rng"
+)
+
+func main() {
+	const seed = 11
+	cfg := data.SynthSVHN(seed)
+	cfg.TrainPerClass, cfg.TestPerClass = 120, 40
+	train, test := data.Generate(cfg)
+
+	fmt.Printf("%-6s  %-28s  %-8s  %-8s  %-8s\n", "alpha", "partition diagnostics", "FedAvg", "FedClust", "gap")
+	for _, alpha := range []float64{0.05, 0.5, 10} {
+		r := rng.New(seed)
+		assign := partition.Dirichlet(train.Y, 10, alpha, 2*train.Classes, r)
+		clients := fl.BuildClients(train, test, assign, r.Derive(0x7e57))
+		env := &fl.Env{
+			Clients: clients,
+			Factory: func(fr *rng.Rng) *nn.Sequential {
+				return nn.LeNet5(fr, cfg.C, cfg.H, cfg.W, cfg.Classes, 0.5)
+			},
+			Rounds: 8,
+			Local:  fl.LocalConfig{Epochs: 1, BatchSize: 32, LR: 0.02, Momentum: 0.5},
+			Seed:   seed,
+		}
+		avg := methods.FedAvg{}.Run(env)
+		fc := (&core.FedClust{}).Run(env)
+		diag := fmt.Sprintf("entropy %.2f, skew %.2f",
+			partition.AvgLabelEntropy(assign, train.Y, train.Classes),
+			partition.SkewEMD(assign, train.Y, train.Classes))
+		fmt.Printf("%-6v  %-28s  %6.2f%%  %6.2f%%  %+6.2f pts\n",
+			alpha, diag, 100*avg.FinalAcc, 100*fc.FinalAcc,
+			100*(fc.FinalAcc-avg.FinalAcc))
+	}
+	fmt.Println("\nUnder severe skew (α=0.05) the one-global-model assumption breaks and")
+	fmt.Println("FedClust's per-cluster models win by a wide margin; near IID (α=10) a")
+	fmt.Println("single model is already right, and the gap shrinks toward zero.")
+}

@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end FedClust run.
+//
+// It builds a non-IID federated population from a synthetic image dataset,
+// runs plain FedAvg and FedClust on identical environments, and prints the
+// personalized test accuracy of both along with the clusters FedClust
+// discovered — all in under a minute on a laptop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/core"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+func main() {
+	const seed = 42
+
+	// 1. A CIFAR-10-like synthetic dataset (3×16×16, 10 classes).
+	cfg := data.SynthCIFAR10(seed)
+	cfg.TrainPerClass, cfg.TestPerClass = 120, 40
+	train, test := data.Generate(cfg)
+	fmt.Printf("dataset %s: %d train / %d test examples, %d classes\n",
+		cfg.Name, train.Len(), test.Len(), cfg.Classes)
+
+	// 2. Ten clients with Dir(0.1) label skew — each device sees a very
+	//    different class mixture, the paper's hard non-IID setting.
+	clients := fl.BuildDirichletClients(train, test, 10, 0.1, rng.New(seed))
+	for _, c := range clients {
+		fmt.Printf("  client %d: %4d examples, label histogram %v\n",
+			c.ID, c.Train.Len(), c.Train.LabelHistogram())
+	}
+
+	// 3. A shared environment: LeNet-5, 8 federated rounds.
+	env := &fl.Env{
+		Clients: clients,
+		Factory: func(r *rng.Rng) *nn.Sequential {
+			return nn.LeNet5(r, cfg.C, cfg.H, cfg.W, cfg.Classes, 0.5)
+		},
+		Rounds: 8,
+		Local:  fl.LocalConfig{Epochs: 1, BatchSize: 32, LR: 0.02, Momentum: 0.5},
+		Seed:   seed,
+	}
+
+	// 4. Baseline: one global FedAvg model for everyone.
+	avg := methods.FedAvg{}.Run(env)
+	fmt.Printf("\nFedAvg   : %5.2f%% mean personalized accuracy (%s)\n",
+		100*avg.FinalAcc, avg.Comm.String())
+
+	// 5. FedClust: one-shot weight-driven clustering, then per-cluster
+	//    training. No cluster count is given — it is discovered. A deeper
+	//    warmup (3 local epochs before the one-shot upload) sharpens the
+	//    final-layer signal on this hard dataset.
+	f := &core.FedClust{Cfg: core.Config{WarmupEpochs: 3}}
+	res := f.Run(env)
+	fmt.Printf("FedClust : %5.2f%% mean personalized accuracy (%s)\n",
+		100*res.FinalAcc, res.Comm.String())
+	fmt.Printf("\nFedClust discovered %d clusters in one round: %v\n",
+		cluster.NumClusters(res.Clusters), res.Clusters)
+	fmt.Printf("cluster-formation upload: %s (vs %s for one full model per client)\n",
+		fl.FormatBytes(res.ClusterFormationUpBytes),
+		fl.FormatBytes(int64(len(clients))*int64(env.NewModel().NumParams())*fl.BytesPerParam))
+}

@@ -1,0 +1,73 @@
+// Package fedclust is the public facade of the FedClust reproduction: a
+// pure-Go clustered federated learning library implementing
+//
+//	FedClust: Optimizing Federated Learning on Non-IID Data through
+//	Weight-Driven Client Clustering (Islam et al., IPDPSW 2024)
+//
+// together with every substrate it needs (a neural-network training stack,
+// synthetic non-IID workloads, hierarchical clustering) and the baselines
+// it is evaluated against (FedAvg, FedProx, CFL, IFCA, PACFL).
+//
+// The facade re-exports the types a downstream user needs so the
+// implementation can stay organized under internal/:
+//
+//	env := &fedclust.Env{ Clients: ..., Factory: ..., Rounds: 10,
+//	                      Local: fedclust.LocalConfig{...}, Seed: 1 }
+//	trainer := fedclust.New(fedclust.Config{})
+//	result  := trainer.Run(env)
+//
+// See examples/quickstart for a complete program and DESIGN.md for the
+// system inventory.
+package fedclust
+
+import (
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+)
+
+// Core algorithm (the paper's contribution).
+type (
+	// FedClust is the weight-driven one-shot clustering trainer.
+	FedClust = core.FedClust
+	// Config tunes FedClust (zero value = paper defaults).
+	Config = core.Config
+	// ClusterState is the fitted server-side clustering, including the
+	// newcomer-incorporation API (paper step ⑥).
+	ClusterState = core.ClusterState
+)
+
+// Federated substrate.
+type (
+	// Env is the federated environment every trainer runs on.
+	Env = fl.Env
+	// Client is one simulated device with local train/test data.
+	Client = fl.Client
+	// LocalConfig controls client-side local training.
+	LocalConfig = fl.LocalConfig
+	// Trainer is the interface all methods implement.
+	Trainer = fl.Trainer
+	// Result is a completed run: accuracy, history, communication,
+	// clusters.
+	Result = fl.Result
+)
+
+// Baselines evaluated in the paper's Table I.
+type (
+	// FedAvg is the classic single-global-model baseline.
+	FedAvg = methods.FedAvg
+	// FedProx adds a proximal term to local objectives.
+	FedProx = methods.FedProx
+	// CFL is Sattler et al.'s iterative bi-partitioning method.
+	CFL = methods.CFL
+	// IFCA is Ghosh et al.'s K-model broadcast method.
+	IFCA = methods.IFCA
+	// PACFL is Vahidian et al.'s principal-angle data-subspace method.
+	PACFL = methods.PACFL
+)
+
+// New returns a FedClust trainer with the given configuration. The zero
+// Config reproduces the paper's defaults: cluster on the final-layer
+// weight update, Euclidean proximity, average-linkage HC, automatic
+// cluster count.
+func New(cfg Config) *FedClust { return &FedClust{Cfg: cfg} }

@@ -1,0 +1,63 @@
+package fedclust_test
+
+import (
+	"testing"
+
+	"fedclust"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+// TestFacadeEndToEnd exercises the public facade exactly as the package
+// documentation advertises: build an Env, run FedClust via fedclust.New,
+// inspect the Result and the newcomer API.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := data.SynthFMNIST(3)
+	cfg.TrainPerClass, cfg.TestPerClass = 40, 16
+	train, test := data.Generate(cfg)
+	clients, _ := fl.BuildGroupClients(train, test,
+		[][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, []int{3, 3}, rng.New(3))
+
+	env := &fedclust.Env{
+		Clients: clients,
+		Factory: func(r *rng.Rng) *nn.Sequential { return nn.MLP(r, train.Dim(), 24, 10) },
+		Rounds:  3,
+		Local:   fedclust.LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.05},
+		Seed:    3,
+	}
+
+	trainer := fedclust.New(fedclust.Config{})
+	var _ fedclust.Trainer = trainer // facade trainer satisfies the interface
+	res := trainer.Run(env)
+	if res.Method != "FedClust" {
+		t.Fatalf("method = %q", res.Method)
+	}
+	if res.FinalAcc <= 0.2 {
+		t.Fatalf("facade run accuracy %v", res.FinalAcc)
+	}
+	if trainer.State == nil || trainer.State.K < 1 {
+		t.Fatal("facade run left no fitted state")
+	}
+
+	// Baselines are reachable through the facade too.
+	avg := fedclust.FedAvg{}.Run(env)
+	if avg.Method != "FedAvg" {
+		t.Fatalf("baseline method = %q", avg.Method)
+	}
+
+	// Newcomer API through the facade state.
+	m := env.NewModel()
+	fl.LocalUpdate(m, clients[0].Train, env.Local, rng.New(9))
+	feature := trainer.State.NewcomerFeature(m)
+	c := trainer.State.AssignNewcomer(feature)
+	if c < 0 || c >= trainer.State.K {
+		t.Fatalf("newcomer assigned to invalid cluster %d", c)
+	}
+	// A model trained on client 0's data must be routed to client 0's
+	// own cluster.
+	if want := trainer.State.Labels[0]; c != want {
+		t.Fatalf("newcomer with client-0 data routed to %d, want %d", c, want)
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// contingency builds the contingency table between two labelings plus the
+// marginal counts.
+func contingency(a, b []int) (table map[[2]int]int, rowSum, colSum map[int]int, n int) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cluster: labelings differ in length: %d vs %d", len(a), len(b)))
+	}
+	table = make(map[[2]int]int)
+	rowSum = make(map[int]int)
+	colSum = make(map[int]int)
+	for i := range a {
+		table[[2]int{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+	}
+	return table, rowSum, colSum, len(a)
+}
+
+// comb2 returns C(n, 2) as a float.
+func comb2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// ARI computes the Adjusted Rand Index between two labelings: 1 for
+// identical partitions, ~0 for independent ones (can be negative).
+func ARI(a, b []int) float64 {
+	table, rowSum, colSum, n := contingency(a, b)
+	if n < 2 {
+		return 1
+	}
+	var sumComb, sumRow, sumCol float64
+	for _, c := range table {
+		sumComb += comb2(c)
+	}
+	for _, c := range rowSum {
+		sumRow += comb2(c)
+	}
+	for _, c := range colSum {
+		sumCol += comb2(c)
+	}
+	total := comb2(n)
+	expected := sumRow * sumCol / total
+	maxIdx := (sumRow + sumCol) / 2
+	if maxIdx == expected {
+		// Both partitions are trivial (all-singletons or single-cluster);
+		// they agree exactly iff the index equals the max.
+		return 1
+	}
+	return (sumComb - expected) / (maxIdx - expected)
+}
+
+// NMI computes the Normalized Mutual Information between two labelings
+// (arithmetic-mean normalization): 1 for identical partitions, 0 for
+// independent ones. If either partition has a single cluster, NMI is 0
+// unless both are identical single-cluster partitions (then 1).
+func NMI(a, b []int) float64 {
+	table, rowSum, colSum, n := contingency(a, b)
+	if n == 0 {
+		return 1
+	}
+	fn := float64(n)
+	var mi, ha, hb float64
+	for key, c := range table {
+		pij := float64(c) / fn
+		pi := float64(rowSum[key[0]]) / fn
+		pj := float64(colSum[key[1]]) / fn
+		if pij > 0 {
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	for _, c := range rowSum {
+		p := float64(c) / fn
+		ha -= p * math.Log(p)
+	}
+	for _, c := range colSum {
+		p := float64(c) / fn
+		hb -= p * math.Log(p)
+	}
+	if ha == 0 && hb == 0 {
+		return 1 // both single-cluster: identical
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0
+	}
+	v := mi / denom
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Purity computes clustering purity of predicted labels against truth:
+// the fraction of points assigned to the majority true class of their
+// predicted cluster. In [0,1]; 1 when every cluster is class-pure.
+func Purity(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("cluster: labelings differ in length: %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 1
+	}
+	counts := make(map[int]map[int]int)
+	for i := range pred {
+		m, ok := counts[pred[i]]
+		if !ok {
+			m = make(map[int]int)
+			counts[pred[i]] = m
+		}
+		m[truth[i]]++
+	}
+	var correct int
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/tensor"
+)
+
+// Silhouette computes the mean silhouette coefficient of a labeling
+// against a precomputed distance matrix. For each point, a is the mean
+// distance to its own cluster (excluding itself) and b the smallest mean
+// distance to any other cluster; the coefficient is (b-a)/max(a,b).
+// Singleton clusters contribute 0 (the standard convention). The result
+// lies in [-1, 1]; higher means tighter, better-separated clusters.
+func Silhouette(dist *tensor.Tensor, labels []int) float64 {
+	n := len(labels)
+	if dist.Shape[0] != n || dist.Shape[1] != n {
+		panic(fmt.Sprintf("cluster: Silhouette labels/matrix mismatch: %d vs %v", n, dist.Shape))
+	}
+	if n == 0 {
+		return 0
+	}
+	members := Members(labels)
+	if len(members) < 2 {
+		return 0 // silhouette undefined for a single cluster
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := members[labels[i]]
+		if len(own) == 1 {
+			continue // singleton: contributes 0
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist.At(i, j)
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for l, m := range members {
+			if l == labels[i] {
+				continue
+			}
+			var d float64
+			for _, j := range m {
+				d += dist.At(i, j)
+			}
+			d /= float64(len(m))
+			if d < b {
+				b = d
+			}
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+// SilhouetteTolerance is the default parsimony tolerance for
+// CutBestSilhouette: among cluster counts whose silhouette is within this
+// much of the maximum, the smallest count wins. This is the
+// one-standard-error rule of model selection adapted to silhouettes —
+// finer cuts must earn their keep, since each extra cluster halves the
+// data its federated model trains on.
+const SilhouetteTolerance = 0.05
+
+// CutBestSilhouette cuts the dendrogram at a cluster count in
+// [minK, maxK] chosen by silhouette over the given distance matrix: the
+// smallest k whose mean silhouette is within tol of the best. This is the
+// selector FedClust uses when no cluster count is specified: it needs
+// neither a predefined K (IFCA's weakness) nor a distance threshold.
+// Pass tol = 0 for the strict argmax. minK is clamped to 2 (silhouette is
+// undefined below that); if maxK < 2 the trivial one-cluster labeling is
+// returned.
+func (den *Dendrogram) CutBestSilhouette(dist *tensor.Tensor, minK, maxK int, tol float64) []int {
+	if tol < 0 {
+		panic(fmt.Sprintf("cluster: negative silhouette tolerance %v", tol))
+	}
+	if minK < 2 {
+		minK = 2
+	}
+	if maxK > den.N {
+		maxK = den.N
+	}
+	if maxK < minK {
+		return den.CutK(1)
+	}
+	scores := make([]float64, 0, maxK-minK+1)
+	best := math.Inf(-1)
+	for k := minK; k <= maxK; k++ {
+		s := Silhouette(dist, den.CutK(k))
+		scores = append(scores, s)
+		if s > best {
+			best = s
+		}
+	}
+	for i, s := range scores {
+		if s >= best-tol {
+			return den.CutK(minK + i)
+		}
+	}
+	return den.CutK(minK) // unreachable; defensive
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/linalg"
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	// Two tight, far-apart pairs: silhouette of the true labeling ≈ 1.
+	vecs := [][]float64{{0}, {0.1}, {100}, {100.1}}
+	d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+	s := Silhouette(d, []int{0, 0, 1, 1})
+	if s < 0.99 {
+		t.Fatalf("silhouette = %v, want ≈1", s)
+	}
+	// A wrong labeling must score strictly lower.
+	bad := Silhouette(d, []int{0, 1, 0, 1})
+	if bad >= s {
+		t.Fatalf("bad labeling silhouette %v >= good %v", bad, s)
+	}
+}
+
+func TestSilhouetteSingleClusterZero(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}}
+	d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+	if s := Silhouette(d, []int{0, 0, 0}); s != 0 {
+		t.Fatalf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+func TestSilhouetteSingletonsContributeZero(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {100}}
+	d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+	// {0,1} together, {100} singleton: only the pair contributes.
+	s := Silhouette(d, []int{0, 0, 1})
+	if s <= 0.5 {
+		t.Fatalf("silhouette with singleton = %v", s)
+	}
+}
+
+func TestSilhouetteMismatchedSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	Silhouette(tensor.New(2, 2), []int{0, 0, 1})
+}
+
+func TestCutBestSilhouetteFindsTrueK(t *testing.T) {
+	// Three clean blobs: the silhouette cut must pick k=3 from the range
+	// [2, 6] without being told.
+	r := rng.New(1)
+	var vecs [][]float64
+	var truth []int
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 4; i++ {
+			vecs = append(vecs, []float64{float64(g)*50 + r.NormFloat64(), float64(g)*-30 + r.NormFloat64()})
+			truth = append(truth, g)
+		}
+	}
+	d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+	den := Agglomerate(d, Average)
+	labels := den.CutBestSilhouette(d, 2, 6, SilhouetteTolerance)
+	if NumClusters(labels) != 3 {
+		t.Fatalf("silhouette cut k = %d, want 3", NumClusters(labels))
+	}
+	if ARI(labels, truth) != 1 {
+		t.Fatalf("silhouette cut ARI = %v", ARI(labels, truth))
+	}
+}
+
+func TestCutBestSilhouetteDegenerateRange(t *testing.T) {
+	vecs := [][]float64{{0}, {1}}
+	d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+	den := Agglomerate(d, Average)
+	// maxK < 2 → trivial single cluster.
+	labels := den.CutBestSilhouette(d, 2, 1, 0)
+	if NumClusters(labels) != 1 {
+		t.Fatalf("degenerate range should give 1 cluster, got %d", NumClusters(labels))
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(10)
+		vecs := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range vecs {
+			vecs[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+			labels[i] = r.Intn(3)
+		}
+		d := linalg.PairwiseDistances(linalg.Euclidean, vecs)
+		s := Silhouette(d, labels)
+		if math.IsNaN(s) || s < -1 || s > 1 {
+			t.Fatalf("silhouette out of range: %v", s)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package core implements FedClust, the paper's contribution: one-shot
+// weight-driven client clustering for federated learning on non-IID data.
+//
+// The algorithm (paper §III, Fig. 2):
+//
+//  1. The server broadcasts initial global weights to all clients.
+//  2. Each client trains locally for a few epochs and uploads only its
+//     final-layer (classifier) weights — the "strategically selected
+//     partial model weights" that implicitly encode the client's label
+//     distribution (paper §II, Fig. 1).
+//  3. The server builds the Euclidean proximity matrix over the uploaded
+//     partial weights.
+//  4. Agglomerative hierarchical clustering groups the clients — in one
+//     communication round, with no predefined cluster count (the
+//     dendrogram is cut at the silhouette-optimal level, preferring
+//     coarser cuts when scores are comparable).
+//  5. From then on each cluster trains independently with FedAvg.
+//  6. Newcomers train locally once, upload final-layer weights, and are
+//     assigned to the nearest cluster centroid in real time.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/fl"
+	"fedclust/internal/linalg"
+	"fedclust/internal/nn"
+	"fedclust/internal/tensor"
+)
+
+// Config controls the FedClust trainer. The zero value selects the
+// paper's defaults: final-layer weights, Euclidean distance, average
+// linkage, automatic (silhouette-based) cluster-count selection.
+type Config struct {
+	// WarmupEpochs is how many local epochs precede the one-shot
+	// clustering upload (default: the environment's local epochs).
+	WarmupEpochs int
+	// WeightLayer selects which weight layer to cluster on (0-based
+	// index into nn.WeightLayers) when ExplicitLayer is true. With
+	// ExplicitLayer false (the zero-value default) the final/classifier
+	// layer is used, as in the paper. The layer-ablation experiment sets
+	// ExplicitLayer to probe other layers.
+	WeightLayer   int
+	ExplicitLayer bool
+	// Metric is the proximity metric over partial weights (default
+	// Euclidean, as in the paper).
+	Metric linalg.Metric
+	// Linkage for the HC step (default Average).
+	Linkage cluster.Linkage
+	// NumClusters, when > 0, fixes the dendrogram cut; otherwise the
+	// silhouette-optimal count is chosen automatically (the paper's "no
+	// predefined number of clusters" property).
+	NumClusters int
+	// MaxClusters bounds the automatic cut (default n/2, at least 2).
+	MaxClusters int
+	// Selector picks the automatic cluster-count rule used when
+	// NumClusters is 0 (default SelectSilhouette).
+	Selector Selector
+	// RawFeatures disables the default feature normalization. By default
+	// the clustering feature is the selected layer's *update* (weights
+	// minus the shared initialization) scaled to unit norm: with a common
+	// w₀ the update direction carries the label-distribution signal,
+	// while its magnitude mostly reflects the client's local batch count
+	// (dataset size), which would otherwise dominate the Euclidean
+	// proximity matrix. RawFeatures=true uses the raw layer weights
+	// exactly as uploaded (the ablation variant).
+	RawFeatures bool
+}
+
+// Selector identifies an automatic cluster-count rule.
+type Selector int
+
+const (
+	// SelectSilhouette cuts at the smallest k whose mean silhouette is
+	// within cluster.SilhouetteTolerance of the best — the default.
+	SelectSilhouette Selector = iota
+	// SelectLargestGap cuts before the largest jump in merge distances.
+	SelectLargestGap
+)
+
+// String returns the selector name.
+func (s Selector) String() string {
+	switch s {
+	case SelectSilhouette:
+		return "silhouette"
+	case SelectLargestGap:
+		return "largest-gap"
+	default:
+		return fmt.Sprintf("Selector(%d)", int(s))
+	}
+}
+
+// FedClust is the fl.Trainer implementing the paper's method.
+type FedClust struct {
+	Cfg Config
+	// State is populated by Run with the fitted server-side clustering
+	// (features, centroids, cluster models) so newcomers can be
+	// incorporated afterwards.
+	State *ClusterState
+}
+
+// Name implements fl.Trainer.
+func (*FedClust) Name() string { return "FedClust" }
+
+// ClusterState is the server-side state after the one-shot clustering
+// phase. It is everything needed to serve existing clients and to
+// incorporate newcomers without re-clustering.
+type ClusterState struct {
+	// Labels maps each founding client to its cluster (0..K-1).
+	Labels []int
+	// K is the number of clusters.
+	K int
+	// Features holds each founding client's uploaded partial weight
+	// vector (the clustering features).
+	Features [][]float64
+	// Centroids holds the mean feature vector per cluster — the
+	// newcomer assignment rule compares against these.
+	Centroids [][]float64
+	// Models holds the current flat parameters of each cluster's model.
+	Models [][]float64
+	// Dendrogram is the full agglomeration history (for diagnostics and
+	// threshold re-cuts).
+	Dendrogram *cluster.Dendrogram
+	// Metric is the proximity metric the state was fitted with.
+	Metric linalg.Metric
+	// InitLayer is the selected layer's parameters under the shared
+	// initialization; newcomer features are extracted against it.
+	InitLayer []float64
+	// Cfg is the configuration the state was fitted with.
+	Cfg Config
+}
+
+// NewcomerFeature extracts the clustering feature from a newcomer's
+// locally trained model, consistent with how the founding features were
+// built (same layer, same reference init, same normalization).
+func (s *ClusterState) NewcomerFeature(model *nn.Sequential) []float64 {
+	return FeatureOf(model, s.InitLayer, s.Cfg)
+}
+
+// Run implements fl.Trainer: one-shot clustering, then per-cluster FedAvg.
+func (f *FedClust) Run(env *fl.Env) *fl.Result {
+	env.Validate()
+	cfg := f.Cfg
+	n := len(env.Clients)
+	if cfg.WarmupEpochs == 0 {
+		cfg.WarmupEpochs = env.Local.Epochs
+	}
+	if cfg.MaxClusters == 0 {
+		cfg.MaxClusters = n / 2
+		if cfg.MaxClusters < 2 {
+			cfg.MaxClusters = 2
+		}
+	}
+	res := &fl.Result{Method: "FedClust"}
+
+	// --- Steps ①–②: broadcast w₀; local warmup; upload partial weights.
+	init := nn.FlattenParams(env.NewModel())
+	nParams := len(init)
+	features := CollectPartialWeights(env, cfg, init)
+	res.Comm.Download(n, nParams)        // step ① broadcast
+	res.Comm.Upload(n, len(features[0])) // step ② partial upload only
+
+	// --- Steps ③–④: proximity matrix + hierarchical clustering.
+	prox := linalg.PairwiseDistances(cfg.Metric, features)
+	den := cluster.Agglomerate(prox, cfg.Linkage)
+	var labels []int
+	switch {
+	case cfg.NumClusters > 0:
+		labels = den.CutK(cfg.NumClusters)
+	case cfg.Selector == SelectLargestGap:
+		labels = den.CutLargestGap(1, cfg.MaxClusters)
+	default:
+		// Parameter-free cut: the smallest cluster count whose mean
+		// silhouette is within tolerance of the best (no predefined K, no
+		// distance threshold — the paper's flexibility claim).
+		labels = den.CutBestSilhouette(prox, 2, cfg.MaxClusters, cluster.SilhouetteTolerance)
+	}
+	k := cluster.NumClusters(labels)
+
+	st := &ClusterState{
+		Labels:     labels,
+		K:          k,
+		Features:   features,
+		Centroids:  centroids(features, labels, k),
+		Dendrogram: den,
+		Metric:     cfg.Metric,
+		InitLayer:  InitLayerVector(env, cfg),
+		Cfg:        cfg,
+	}
+	res.Clusters = labels
+	res.ClusterFormationRound = 0 // formed before round 1, in one shot
+	res.ClusterFormationUpBytes = res.Comm.UpBytes
+	res.Comm.EndRound(0)
+
+	// --- Step ⑤: per-cluster FedAvg.
+	st.Models = make([][]float64, k)
+	for c := range st.Models {
+		st.Models[c] = append([]float64(nil), init...)
+	}
+	weights := env.TrainSizes()
+	locals := make([][]float64, n)
+	for round := 0; round < env.Rounds; round++ {
+		res.Comm.Download(n, nParams)
+		env.ParallelClients(n, func(i int) {
+			model := env.NewModel()
+			nn.LoadParams(model, st.Models[labels[i]])
+			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
+			locals[i] = nn.FlattenParams(model)
+		})
+		res.Comm.Upload(n, nParams)
+		for c := 0; c < k; c++ {
+			var vecs [][]float64
+			var ws []float64
+			for i := 0; i < n; i++ {
+				if labels[i] == c {
+					vecs = append(vecs, locals[i])
+					ws = append(ws, weights[i])
+				}
+			}
+			if len(vecs) > 0 {
+				st.Models[c] = fl.WeightedAverage(vecs, ws)
+			}
+		}
+		res.Comm.EndRound(round + 1)
+
+		if env.ShouldEval(round) {
+			served := make([]*nn.Sequential, k)
+			for c := range served {
+				served[c] = env.NewModel()
+				nn.LoadParams(served[c], st.Models[c])
+			}
+			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[labels[i]] })
+			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
+		}
+	}
+	f.State = st
+	return res
+}
+
+// layerVector extracts the configured layer's parameters from a model.
+func layerVector(model *nn.Sequential, cfg Config) []float64 {
+	if cfg.ExplicitLayer {
+		return nn.LayerParamVector(model, cfg.WeightLayer)
+	}
+	return nn.FinalLayerVector(model)
+}
+
+// InitLayerVector returns the selected layer's parameters under the
+// environment's shared initialization — the reference point for feature
+// extraction.
+func InitLayerVector(env *fl.Env, cfg Config) []float64 {
+	return layerVector(env.NewModel(), cfg)
+}
+
+// FeatureOf turns a locally trained model into its clustering feature:
+// the selected layer's update from initLayer, unit-normalized (see
+// Config.RawFeatures for the raw-weights variant).
+func FeatureOf(model *nn.Sequential, initLayer []float64, cfg Config) []float64 {
+	vec := layerVector(model, cfg)
+	if cfg.RawFeatures {
+		return vec
+	}
+	if len(vec) != len(initLayer) {
+		panic(fmt.Sprintf("core: feature length %d != init layer %d", len(vec), len(initLayer)))
+	}
+	delta := make([]float64, len(vec))
+	var norm float64
+	for i := range vec {
+		delta[i] = vec[i] - initLayer[i]
+		norm += delta[i] * delta[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		inv := 1 / norm
+		for i := range delta {
+			delta[i] *= inv
+		}
+	}
+	return delta
+}
+
+// CollectPartialWeights performs the warmup phase: every client trains
+// locally from the given initial weights for cfg.WarmupEpochs and the
+// selected layer's update is extracted as that client's clustering
+// feature. Runs clients in parallel.
+func CollectPartialWeights(env *fl.Env, cfg Config, init []float64) [][]float64 {
+	n := len(env.Clients)
+	features := make([][]float64, n)
+	local := env.Local
+	if cfg.WarmupEpochs > 0 {
+		local.Epochs = cfg.WarmupEpochs
+	}
+	refModel := env.NewModel()
+	nn.LoadParams(refModel, init)
+	initLayer := layerVector(refModel, cfg)
+	env.ParallelClients(n, func(i int) {
+		model := env.NewModel()
+		nn.LoadParams(model, init)
+		fl.LocalUpdate(model, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
+		features[i] = FeatureOf(model, initLayer, cfg)
+	})
+	return features
+}
+
+// centroids computes per-cluster mean feature vectors.
+func centroids(features [][]float64, labels []int, k int) [][]float64 {
+	dim := len(features[0])
+	out := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range out {
+		out[c] = make([]float64, dim)
+	}
+	for i, f := range features {
+		c := labels[i]
+		counts[c]++
+		for j, v := range f {
+			out[c][j] += v
+		}
+	}
+	for c := range out {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range out[c] {
+			out[c][j] *= inv
+		}
+	}
+	return out
+}
+
+// AssignNewcomer returns the cluster whose centroid is nearest (under the
+// fitted metric) to the newcomer's partial weight feature — the paper's
+// step ⑥, executed in real time without re-clustering.
+func (s *ClusterState) AssignNewcomer(feature []float64) int {
+	if len(s.Centroids) == 0 {
+		panic("core: AssignNewcomer on empty state")
+	}
+	if len(feature) != len(s.Centroids[0]) {
+		panic(fmt.Sprintf("core: newcomer feature length %d, want %d", len(feature), len(s.Centroids[0])))
+	}
+	best, bestD := 0, linalg.VecDistance(s.Metric, feature, s.Centroids[0])
+	for c := 1; c < len(s.Centroids); c++ {
+		if d := linalg.VecDistance(s.Metric, feature, s.Centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// AddNewcomer assigns the newcomer and folds its feature into the chosen
+// cluster's centroid (so subsequent arrivals see the updated centroid).
+// Returns the assigned cluster.
+func (s *ClusterState) AddNewcomer(feature []float64) int {
+	c := s.AssignNewcomer(feature)
+	oldCount := 0
+	for _, l := range s.Labels {
+		if l == c {
+			oldCount++
+		}
+	}
+	newCount := float64(oldCount + 1)
+	for j := range s.Centroids[c] {
+		s.Centroids[c][j] = (s.Centroids[c][j]*float64(oldCount) + feature[j]) / newCount
+	}
+	s.Labels = append(s.Labels, c)
+	s.Features = append(s.Features, append([]float64(nil), feature...))
+	return c
+}
+
+// ProximityMatrix exposes the fitted pairwise feature distances (used by
+// diagnostics and the Fig-1 style visualizations).
+func (s *ClusterState) ProximityMatrix() *tensor.Tensor {
+	return linalg.PairwiseDistances(s.Metric, s.Features)
+}

@@ -1,0 +1,182 @@
+// Package data provides the dataset substrate of the reproduction: a
+// compact in-memory labeled dataset type with batching, and synthetic
+// class-conditional image generators standing in for CIFAR-10, Fashion-
+// MNIST, and SVHN (see DESIGN.md §2 for why the substitution preserves the
+// clustered-FL behaviour the paper studies).
+package data
+
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Dataset is an in-memory labeled dataset of flattened CHW images.
+type Dataset struct {
+	Name    string
+	X       *tensor.Tensor // (n, C*H*W)
+	Y       []int          // length n, values in [0, Classes)
+	Classes int
+	C, H, W int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Dim returns the flattened feature width.
+func (d *Dataset) Dim() int { return d.C * d.H * d.W }
+
+// Validate panics if the dataset is internally inconsistent.
+func (d *Dataset) Validate() {
+	if d.X.Shape[0] != len(d.Y) {
+		panic(fmt.Sprintf("data: %s has %d rows but %d labels", d.Name, d.X.Shape[0], len(d.Y)))
+	}
+	if d.X.Shape[1] != d.Dim() {
+		panic(fmt.Sprintf("data: %s feature width %d != C*H*W %d", d.Name, d.X.Shape[1], d.Dim()))
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			panic(fmt.Sprintf("data: %s label %d at row %d out of range", d.Name, y, i))
+		}
+	}
+}
+
+// Subset returns a new dataset containing the given rows (copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		Name:    d.Name,
+		X:       tensor.New(len(idx), d.Dim()),
+		Y:       make([]int, len(idx)),
+		Classes: d.Classes,
+		C:       d.C, H: d.H, W: d.W,
+	}
+	for i, src := range idx {
+		copy(out.X.Row(i), d.X.Row(src))
+		out.Y[i] = d.Y[src]
+	}
+	return out
+}
+
+// LabelHistogram returns the per-class example counts.
+func (d *Dataset) LabelHistogram() []int {
+	h := make([]int, d.Classes)
+	for _, y := range d.Y {
+		h[y]++
+	}
+	return h
+}
+
+// LabelDistribution returns the per-class proportions (sums to 1 for
+// non-empty datasets).
+func (d *Dataset) LabelDistribution() []float64 {
+	h := d.LabelHistogram()
+	p := make([]float64, len(h))
+	if d.Len() == 0 {
+		return p
+	}
+	inv := 1 / float64(d.Len())
+	for i, c := range h {
+		p[i] = float64(c) * inv
+	}
+	return p
+}
+
+// Batch is one minibatch: inputs plus labels.
+type Batch struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Batches splits the dataset into shuffled minibatches of at most size
+// examples. The final partial batch is included. A nil rng disables
+// shuffling (deterministic order).
+func (d *Dataset) Batches(size int, r *rng.Rng) []Batch {
+	if size <= 0 {
+		panic(fmt.Sprintf("data: batch size must be positive, got %d", size))
+	}
+	n := d.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if r != nil {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	var out []Batch
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		b := Batch{X: tensor.New(hi-lo, d.Dim()), Y: make([]int, hi-lo)}
+		for i := lo; i < hi; i++ {
+			copy(b.X.Row(i-lo), d.X.Row(order[i]))
+			b.Y[i-lo] = d.Y[order[i]]
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Split partitions the dataset into two disjoint parts with the first
+// receiving ceil(frac*n) shuffled examples — used for train/validation
+// splits inside clients.
+func (d *Dataset) Split(frac float64, r *rng.Rng) (*Dataset, *Dataset) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("data: split fraction %v out of [0,1]", frac))
+	}
+	n := d.Len()
+	order := r.Perm(n)
+	cut := int(frac*float64(n) + 0.999999)
+	if cut > n {
+		cut = n
+	}
+	return d.Subset(order[:cut]), d.Subset(order[cut:])
+}
+
+// Merge concatenates datasets with identical geometry into one.
+func Merge(parts ...*Dataset) *Dataset {
+	if len(parts) == 0 {
+		panic("data: Merge of nothing")
+	}
+	first := parts[0]
+	total := 0
+	for _, p := range parts {
+		if p.Dim() != first.Dim() || p.Classes != first.Classes {
+			panic("data: Merge with mismatched geometry")
+		}
+		total += p.Len()
+	}
+	out := &Dataset{
+		Name:    first.Name,
+		X:       tensor.New(total, first.Dim()),
+		Y:       make([]int, total),
+		Classes: first.Classes,
+		C:       first.C, H: first.H, W: first.W,
+	}
+	row := 0
+	for _, p := range parts {
+		for i := 0; i < p.Len(); i++ {
+			copy(out.X.Row(row), p.X.Row(i))
+			out.Y[row] = p.Y[i]
+			row++
+		}
+	}
+	return out
+}
+
+// FilterClasses returns the subset of d whose labels are in keep.
+func (d *Dataset) FilterClasses(keep []int) *Dataset {
+	set := make(map[int]bool, len(keep))
+	for _, k := range keep {
+		set[k] = true
+	}
+	var idx []int
+	for i, y := range d.Y {
+		if set[y] {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/linalg"
+	"fedclust/internal/nn"
+)
+
+// LayerAblationOptions configures experiment A1: which layer's weights
+// make the best clustering feature — the quantitative version of Fig. 1
+// across every weight layer of LeNet-5.
+type LayerAblationOptions struct {
+	Dataset  string
+	Seed     uint64
+	Quick    bool
+	Progress io.Writer
+}
+
+// DefaultLayerAblationOptions probes on the fmnist stand-in.
+func DefaultLayerAblationOptions() LayerAblationOptions {
+	return LayerAblationOptions{Dataset: "fmnist", Seed: 1, Quick: true}
+}
+
+// LayerAblationRow is one layer's cluster-recovery quality.
+type LayerAblationRow struct {
+	Layer int // 1-based weight-layer index
+	Name  string
+	ARI   float64
+	Block float64
+}
+
+// LayerAblationResult is the per-layer table.
+type LayerAblationResult struct{ Rows []LayerAblationRow }
+
+// RunLayerAblation trains the two-group population once and scores every
+// weight layer as a clustering feature.
+func RunLayerAblation(opts LayerAblationOptions) *LayerAblationResult {
+	w := PaperWorkload(opts.Dataset)
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	}
+	env, truth := buildGroupEnv(w, opts.Seed)
+
+	// One local training pass per client; probe all layers from it.
+	init := nn.FlattenParams(env.NewModel())
+	n := len(env.Clients)
+	models := make([]*nn.Sequential, n)
+	env.ParallelClients(n, func(i int) {
+		m := env.NewModel()
+		nn.LoadParams(m, init)
+		fl.LocalUpdate(m, env.Clients[i].Train, env.Local, env.ClientRng(i, 0))
+		models[i] = m
+	})
+	ref := env.NewModel()
+	numWL := nn.NumWeightLayers(ref)
+	wl := nn.WeightLayers(ref)
+	res := &LayerAblationResult{}
+	for layer := 0; layer < numWL; layer++ {
+		feats := make([][]float64, n)
+		for i, m := range models {
+			feats[i] = nn.LayerParamVector(m, layer)
+		}
+		dist := linalg.PairwiseDistances(linalg.Euclidean, feats)
+		labels := cluster.Agglomerate(dist, cluster.Average).CutK(2)
+		row := LayerAblationRow{
+			Layer: layer + 1,
+			Name:  ref.Layers[wl[layer]].Name(),
+			ARI:   cluster.ARI(labels, truth),
+			Block: BlockScore(dist, truth),
+		}
+		res.Rows = append(res.Rows, row)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  layer %d (%s): ARI=%.2f block=%.2f\n",
+				row.Layer, row.Name, row.ARI, row.Block)
+		}
+	}
+	return res
+}
+
+// Render prints the per-layer table.
+func (r *LayerAblationResult) Render(w io.Writer) {
+	tab := NewTable("WeightLayer", "Layer", "ARI", "BlockScore")
+	for _, row := range r.Rows {
+		tab.AddRow(fmt.Sprintf("%d", row.Layer), row.Name,
+			fmt.Sprintf("%.2f", row.ARI), fmt.Sprintf("%.2f", row.Block))
+	}
+	tab.Render(w)
+}
+
+// ShapeChecks verifies the paper's §II claim quantitatively: the final
+// layer is at least as good a clustering feature as any earlier layer.
+func (r *LayerAblationResult) ShapeChecks() []string {
+	if len(r.Rows) == 0 {
+		return []string{"[FAIL] no layers probed"}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	best := last.ARI
+	for _, row := range r.Rows {
+		if row.ARI > best {
+			best = row.ARI
+		}
+	}
+	ok := last.ARI >= best
+	s := "PASS"
+	if !ok {
+		s = "FAIL"
+	}
+	return []string{fmt.Sprintf("[%s] final layer ARI (%.2f) matches the best layer (%.2f)",
+		s, last.ARI, best)}
+}
+
+// LinkageAblationOptions configures experiment A2: FedClust's HC linkage
+// choice.
+type LinkageAblationOptions struct {
+	Dataset  string
+	Seed     uint64
+	Quick    bool
+	Progress io.Writer
+}
+
+// DefaultLinkageAblationOptions uses the fmnist stand-in.
+func DefaultLinkageAblationOptions() LinkageAblationOptions {
+	return LinkageAblationOptions{Dataset: "fmnist", Seed: 1, Quick: true}
+}
+
+// LinkageAblationRow is one linkage's outcome.
+type LinkageAblationRow struct {
+	Linkage cluster.Linkage
+	K       int
+	ARI     float64
+	Acc     float64
+}
+
+// LinkageAblationResult is the per-linkage table.
+type LinkageAblationResult struct{ Rows []LinkageAblationRow }
+
+// RunLinkageAblation runs full FedClust under each linkage.
+func RunLinkageAblation(opts LinkageAblationOptions) *LinkageAblationResult {
+	w := PaperWorkload(opts.Dataset)
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	}
+	res := &LinkageAblationResult{}
+	for _, l := range []cluster.Linkage{cluster.Single, cluster.Complete, cluster.Average, cluster.Ward} {
+		env, truth := buildGroupEnv(w, opts.Seed)
+		f := &core.FedClust{Cfg: core.Config{Linkage: l}}
+		r := f.Run(env)
+		res.Rows = append(res.Rows, LinkageAblationRow{
+			Linkage: l,
+			K:       cluster.NumClusters(r.Clusters),
+			ARI:     cluster.ARI(r.Clusters, truth),
+			Acc:     r.FinalAcc,
+		})
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-8s K=%d ARI=%.2f acc=%.1f%%\n",
+				l, cluster.NumClusters(r.Clusters), cluster.ARI(r.Clusters, truth), 100*r.FinalAcc)
+		}
+	}
+	return res
+}
+
+// Render prints the linkage comparison.
+func (r *LinkageAblationResult) Render(w io.Writer) {
+	tab := NewTable("Linkage", "K", "ARI", "Acc%")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Linkage.String(), fmt.Sprintf("%d", row.K),
+			fmt.Sprintf("%.2f", row.ARI), fmt.Sprintf("%.1f", 100*row.Acc))
+	}
+	tab.Render(w)
+}

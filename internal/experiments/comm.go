@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/fl"
+)
+
+// CommRow is one method's communication profile for the cluster-formation
+// comparison (experiment C1 in DESIGN.md).
+type CommRow struct {
+	Method string
+	// FormationRound is when the clustering last changed (0 = one-shot).
+	FormationRound int
+	// FormationUpBytes is uplink traffic spent before clusters stabilized.
+	FormationUpBytes int64
+	// TotalUp/TotalDown are whole-run traffic.
+	TotalUp, TotalDown int64
+	// K is the discovered/used cluster count; ARI scores it against the
+	// ground-truth groups.
+	K   int
+	ARI float64
+	Acc float64
+}
+
+// CommResult is the full C1 comparison.
+type CommResult struct {
+	Rows []CommRow
+}
+
+// CommOptions configures the comparison. The workload is the two-group
+// construction (the setting where cluster formation is well defined).
+type CommOptions struct {
+	Dataset         string
+	ClientsPerGroup int
+	Rounds          int
+	Quick           bool
+	Seed            uint64
+	Progress        io.Writer
+}
+
+// DefaultCommOptions compares the three clustering methods on fmnist-like
+// data.
+func DefaultCommOptions() CommOptions {
+	return CommOptions{Dataset: "fmnist", ClientsPerGroup: 5, Rounds: 15, Seed: 1}
+}
+
+// RunComm executes FedClust, PACFL, IFCA and CFL on a two-group workload
+// and reports when their clusters stabilize and how many uplink bytes that
+// stabilization cost — the paper's "one-shot, partial-weights" efficiency
+// claim versus iterative baselines.
+func RunComm(opts CommOptions) *CommResult {
+	w := PaperWorkload(opts.Dataset)
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	}
+	w.Rounds = opts.Rounds
+
+	env, truth := buildGroupEnv(w, opts.Seed)
+	res := &CommResult{}
+	for _, name := range []string{"FedClust", "PACFL", "IFCA", "CFL"} {
+		trainer := NewTrainer(name, w)
+		r := trainer.Run(env)
+		ari := 0.0
+		k := 0
+		if r.Clusters != nil {
+			ari = cluster.ARI(r.Clusters, truth)
+			k = cluster.NumClusters(r.Clusters)
+		}
+		res.Rows = append(res.Rows, CommRow{
+			Method:           name,
+			FormationRound:   r.ClusterFormationRound,
+			FormationUpBytes: r.ClusterFormationUpBytes,
+			TotalUp:          r.Comm.UpBytes,
+			TotalDown:        r.Comm.DownBytes,
+			K:                k,
+			ARI:              ari,
+			Acc:              r.FinalAcc,
+		})
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-8s formed@%d upload-to-form=%s ARI=%.2f\n",
+				name, r.ClusterFormationRound, fl.FormatBytes(r.ClusterFormationUpBytes), ari)
+		}
+	}
+	return res
+}
+
+// buildGroupEnv constructs the two-group environment for a workload.
+func buildGroupEnv(w Workload, seed uint64) (*fl.Env, []int) {
+	// Reuse BuildEnv machinery but substitute the group partition.
+	env := BuildEnv(w, seed) // builds datasets deterministically
+	// Rebuild clients with the group partition over the same data.
+	cfg := workloadDataset(w, seed)
+	trainSet, testSet := generate(cfg)
+	half := cfg.Classes / 2
+	gA := make([]int, half)
+	gB := make([]int, cfg.Classes-half)
+	for i := range gA {
+		gA[i] = i
+	}
+	for i := range gB {
+		gB[i] = half + i
+	}
+	perGroup := w.Clients / 2
+	clients, truth := fl.BuildGroupClients(trainSet, testSet,
+		[][]int{gA, gB}, []int{perGroup, w.Clients - perGroup}, newRng(seed))
+	env.Clients = clients
+	return env, truth
+}
+
+// Render prints the comparison table.
+func (c *CommResult) Render(w io.Writer) {
+	tab := NewTable("Method", "FormedAtRound", "UplinkToForm", "TotalUp", "TotalDown", "K", "ARI", "Acc%")
+	for _, r := range c.Rows {
+		tab.AddRow(r.Method,
+			fmt.Sprintf("%d", r.FormationRound),
+			fl.FormatBytes(r.FormationUpBytes),
+			fl.FormatBytes(r.TotalUp),
+			fl.FormatBytes(r.TotalDown),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%.2f", r.ARI),
+			fmt.Sprintf("%.1f", 100*r.Acc))
+	}
+	tab.Render(w)
+}
+
+// ShapeChecks verifies the qualitative communication claims.
+func (c *CommResult) ShapeChecks() []string {
+	byName := map[string]CommRow{}
+	for _, r := range c.Rows {
+		byName[r.Method] = r
+	}
+	var out []string
+	check := func(name string, ok bool) {
+		s := "PASS"
+		if !ok {
+			s = "FAIL"
+		}
+		out = append(out, fmt.Sprintf("[%s] %s", s, name))
+	}
+	fc, cfl, ifca := byName["FedClust"], byName["CFL"], byName["IFCA"]
+	check("FedClust clusters one-shot (round 0)", fc.FormationRound == 0)
+	check("FedClust formation uplink < CFL's", fc.FormationUpBytes < cfl.FormationUpBytes || cfl.FormationRound == 0)
+	check("FedClust downlink < IFCA's (K models/round)", fc.TotalDown < ifca.TotalDown)
+	check("FedClust recovers true groups (ARI=1)", fc.ARI >= 0.99)
+	return out
+}

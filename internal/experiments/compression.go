@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/linalg"
+	"fedclust/internal/nn"
+	"fedclust/internal/wire"
+)
+
+// CompressionOptions configures experiment A4: how lossy upload encodings
+// affect FedClust's one-shot clustering. The partial-weight upload is
+// FedClust's headline efficiency claim; narrow codecs shrink it further —
+// if the clustering survives quantization, the claim compounds.
+type CompressionOptions struct {
+	Dataset  string
+	Seed     uint64
+	Quick    bool
+	Progress io.Writer
+}
+
+// DefaultCompressionOptions probes on the fmnist stand-in.
+func DefaultCompressionOptions() CompressionOptions {
+	return CompressionOptions{Dataset: "fmnist", Seed: 1, Quick: true}
+}
+
+// CompressionRow is one codec's outcome.
+type CompressionRow struct {
+	Codec       wire.Codec
+	UploadBytes int64 // total clustering upload across clients
+	MaxError    float64
+	ARI         float64
+	K           int
+}
+
+// CompressionResult is the per-codec table.
+type CompressionResult struct{ Rows []CompressionRow }
+
+// RunCompression collects FedClust's partial-weight features once, then
+// simulates uploading them under each codec (encode → decode) and
+// re-clusters from the decoded features.
+func RunCompression(opts CompressionOptions) *CompressionResult {
+	w := PaperWorkload(opts.Dataset)
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	}
+	env, truth := buildGroupEnv(w, opts.Seed)
+	cfg := core.Config{}
+	init := nn.FlattenParams(env.NewModel())
+	features := core.CollectPartialWeights(env, cfg, init)
+
+	res := &CompressionResult{}
+	for _, c := range []wire.Codec{wire.Float64, wire.Float32, wire.Quant8} {
+		decoded := make([][]float64, len(features))
+		var total int64
+		var maxErr float64
+		for i, f := range features {
+			frame := wire.Encode(c, f)
+			total += int64(len(frame))
+			dec, err := wire.Decode(frame)
+			if err != nil {
+				panic(err) // cannot happen for freshly encoded frames
+			}
+			decoded[i] = dec
+			if e := wire.MaxError(c, f); e > maxErr {
+				maxErr = e
+			}
+		}
+		prox := linalg.PairwiseDistances(linalg.Euclidean, decoded)
+		den := cluster.Agglomerate(prox, cluster.Average)
+		labels := den.CutBestSilhouette(prox, 2, len(features)/2, cluster.SilhouetteTolerance)
+		row := CompressionRow{
+			Codec:       c,
+			UploadBytes: total,
+			MaxError:    maxErr,
+			ARI:         cluster.ARI(labels, truth),
+			K:           cluster.NumClusters(labels),
+		}
+		res.Rows = append(res.Rows, row)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-8s upload=%s maxErr=%.2g ARI=%.2f K=%d\n",
+				c, fl.FormatBytes(total), maxErr, row.ARI, row.K)
+		}
+	}
+	return res
+}
+
+// Render prints the codec comparison.
+func (r *CompressionResult) Render(w io.Writer) {
+	tab := NewTable("Codec", "ClusteringUpload", "MaxDecodeErr", "ARI", "K")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Codec.String(), fl.FormatBytes(row.UploadBytes),
+			fmt.Sprintf("%.2g", row.MaxError), fmt.Sprintf("%.2f", row.ARI),
+			fmt.Sprintf("%d", row.K))
+	}
+	tab.Render(w)
+}
+
+// ShapeChecks verifies quantization preserves the clustering.
+func (r *CompressionResult) ShapeChecks() []string {
+	var out []string
+	var f64, q8 CompressionRow
+	for _, row := range r.Rows {
+		switch row.Codec {
+		case wire.Float64:
+			f64 = row
+		case wire.Quant8:
+			q8 = row
+		}
+	}
+	ok1 := q8.ARI >= f64.ARI-1e-9 && q8.ARI >= 0.99
+	ok2 := q8.UploadBytes*7 < f64.UploadBytes
+	s := func(b bool) string {
+		if b {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	out = append(out, fmt.Sprintf("[%s] 8-bit quantized upload preserves clustering (ARI %.2f)", s(ok1), q8.ARI))
+	out = append(out, fmt.Sprintf("[%s] quant8 upload ≥7× smaller (%s vs %s)",
+		s(ok2), fl.FormatBytes(q8.UploadBytes), fl.FormatBytes(f64.UploadBytes)))
+	return out
+}

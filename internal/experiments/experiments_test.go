@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedclust/internal/tensor"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("A", "Blong")
+	tab.AddRow("x")
+	tab.AddRow("yy", "z")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "Blong") {
+		t.Fatalf("header missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestRenderHeatmapShadesByMagnitude(t *testing.T) {
+	m := tensor.New(2, 2)
+	m.Set(10, 0, 1)
+	m.Set(10, 1, 0)
+	var buf bytes.Buffer
+	RenderHeatmap(&buf, "test", m)
+	out := buf.String()
+	if !strings.Contains(out, "██") {
+		t.Fatalf("max cell not rendered dark:\n%s", out)
+	}
+	if !strings.Contains(out, "test") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestBlockScore(t *testing.T) {
+	// Perfect 2-block matrix: intra 1, inter 10 → score 10.
+	m := tensor.New(4, 4)
+	truth := []int{0, 0, 1, 1}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if truth[i] == truth[j] {
+				m.Set(1, i, j)
+			} else {
+				m.Set(10, i, j)
+			}
+		}
+	}
+	if s := BlockScore(m, truth); s != 10 {
+		t.Fatalf("BlockScore = %v, want 10", s)
+	}
+	// No structure: score ≈ 1.
+	flat := tensor.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				flat.Set(5, i, j)
+			}
+		}
+	}
+	if s := BlockScore(flat, truth); s != 1 {
+		t.Fatalf("flat BlockScore = %v, want 1", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `q"t`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"q""t"`) {
+		t.Fatalf("CSV quoting wrong: %q", out)
+	}
+}
+
+func TestDatasetConfigNames(t *testing.T) {
+	for _, name := range DatasetNames {
+		cfg := DatasetConfig(name, 1)
+		if cfg.Classes != 10 {
+			t.Fatalf("%s classes = %d", name, cfg.Classes)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset did not panic")
+		}
+	}()
+	DatasetConfig("mnist", 1)
+}
+
+func TestNewTrainerAllMethods(t *testing.T) {
+	w := QuickWorkload("fmnist")
+	for _, m := range MethodNames {
+		tr := NewTrainer(m, w)
+		if tr.Name() != m {
+			t.Fatalf("trainer for %q reports name %q", m, tr.Name())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown method did not panic")
+		}
+	}()
+	NewTrainer("FedNope", w)
+}
+
+func TestBuildEnvStructure(t *testing.T) {
+	w := QuickWorkload("cifar10")
+	w.Clients = 6
+	env := BuildEnv(w, 7)
+	if len(env.Clients) != 6 {
+		t.Fatalf("clients = %d", len(env.Clients))
+	}
+	model := env.NewModel()
+	// LeNet-5 has 5 weight layers.
+	y := model.Forward(env.Clients[0].Train.X, false)
+	if y.Shape[1] != 10 {
+		t.Fatalf("model output classes = %d", y.Shape[1])
+	}
+	// Determinism across identical builds.
+	env2 := BuildEnv(w, 7)
+	if env.Clients[0].Train.Len() != env2.Clients[0].Train.Len() {
+		t.Fatal("BuildEnv not deterministic")
+	}
+}
+
+func TestTable1CellStats(t *testing.T) {
+	c := Table1Cell{Accs: []float64{0.5, 0.7}}
+	if c.Mean() != 60 {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+	if c.Std() < 14 || c.Std() > 15 {
+		t.Fatalf("Std = %v", c.Std())
+	}
+}
+
+func TestRunTable1MiniGrid(t *testing.T) {
+	// A miniature grid (1 dataset, 2 methods, 1 seed, tiny workload)
+	// exercises the full Table-I plumbing quickly.
+	opts := Table1Options{
+		Datasets: []string{"fmnist"},
+		Methods:  []string{"FedAvg", "FedClust"},
+		Seeds:    []uint64{1},
+		Quick:    true,
+	}
+	res := RunTable1(opts)
+	for _, m := range opts.Methods {
+		c := res.Cell(m, "fmnist")
+		if len(c.Accs) != 1 {
+			t.Fatalf("%s accs = %v", m, c.Accs)
+		}
+		if c.Accs[0] <= 0.1 || c.Accs[0] > 1 {
+			t.Fatalf("%s accuracy %v implausible", m, c.Accs[0])
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FedClust") || !strings.Contains(buf.String(), "paper 95.51") {
+		t.Fatalf("render missing content:\n%s", buf.String())
+	}
+}
+
+func TestShapeChecksFormat(t *testing.T) {
+	res := &Table1Result{Datasets: []string{"fmnist"}, Methods: []string{"FedAvg", "FedClust"}}
+	res.Cell("FedAvg", "fmnist").Accs = []float64{0.5}
+	res.Cell("FedClust", "fmnist").Accs = []float64{0.9}
+	checks := res.ShapeChecks()
+	if len(checks) == 0 {
+		t.Fatal("no checks produced")
+	}
+	for _, c := range checks {
+		if !strings.HasPrefix(c, "[PASS]") && !strings.HasPrefix(c, "[FAIL]") {
+			t.Fatalf("check %q missing status prefix", c)
+		}
+	}
+	for _, c := range checks {
+		if strings.Contains(c, "FedClust > FedAvg") && !strings.HasPrefix(c, "[PASS]") {
+			t.Fatalf("expected pass: %q", c)
+		}
+	}
+}
+
+func TestRunCommQuick(t *testing.T) {
+	opts := DefaultCommOptions()
+	opts.Quick = true
+	opts.Rounds = 4
+	opts.ClientsPerGroup = 3
+	res := RunComm(opts)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]CommRow{}
+	for _, r := range res.Rows {
+		byName[r.Method] = r
+	}
+	fc := byName["FedClust"]
+	if fc.FormationRound != 0 {
+		t.Fatalf("FedClust formation round = %d", fc.FormationRound)
+	}
+	if fc.ARI < 0.99 {
+		t.Fatalf("FedClust group recovery ARI = %v", fc.ARI)
+	}
+	ifca := byName["IFCA"]
+	if fc.TotalDown >= ifca.TotalDown {
+		t.Fatalf("FedClust downlink %d should be below IFCA's %d", fc.TotalDown, ifca.TotalDown)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "UplinkToForm") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunNewcomerQuick(t *testing.T) {
+	opts := DefaultNewcomerOptions()
+	opts.Newcomers = 4
+	res := RunNewcomer(opts)
+	if res.Total != 4 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.Routed != res.Total {
+		t.Fatalf("only %d/%d newcomers routed correctly", res.Routed, res.Total)
+	}
+	if res.ServedAcc <= res.GlobalInitAcc {
+		t.Fatalf("served acc %v not above floor %v", res.ServedAcc, res.GlobalInitAcc)
+	}
+}
+
+func TestRunLayerAblationQuick(t *testing.T) {
+	opts := DefaultLayerAblationOptions()
+	res := RunLayerAblation(opts)
+	if len(res.Rows) != 5 { // LeNet-5 weight layers
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.ARI < 0.99 {
+		t.Fatalf("final layer ARI = %v", last.ARI)
+	}
+	checks := res.ShapeChecks()
+	if !strings.HasPrefix(checks[0], "[PASS]") {
+		t.Fatalf("ablation shape check failed: %v", checks)
+	}
+}
+
+func TestRunLinkageAblationQuick(t *testing.T) {
+	opts := DefaultLinkageAblationOptions()
+	res := RunLinkageAblation(opts)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Average linkage (the default) must recover the groups.
+	for _, row := range res.Rows {
+		if row.Linkage.String() == "average" && row.ARI < 0.99 {
+			t.Fatalf("average linkage ARI = %v", row.ARI)
+		}
+	}
+}
+
+func TestRunFig1Tiny(t *testing.T) {
+	opts := DefaultFig1Options()
+	opts.ClientsPerGroup = 2
+	opts.TrainPerClass = 20
+	opts.Epochs = 1
+	opts.ProbeLayers = []int{1, 16}
+	res := RunFig1(opts)
+	if len(res.Layers) != 2 {
+		t.Fatalf("layers = %d", len(res.Layers))
+	}
+	if res.Layers[0].Kind != "CL" || res.Layers[1].Kind != "FL" {
+		t.Fatalf("layer kinds = %v/%v", res.Layers[0].Kind, res.Layers[1].Kind)
+	}
+	last := res.Layers[1]
+	if last.ARI < 0.99 {
+		t.Fatalf("final-layer ARI = %v (block %v)", last.ARI, last.BlockScore)
+	}
+	if last.BlockScore <= res.Layers[0].BlockScore {
+		t.Fatalf("final layer block score %v not above layer-1 %v",
+			last.BlockScore, res.Layers[0].BlockScore)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Layer 16") {
+		t.Fatal("render missing layer 16")
+	}
+}
+
+func TestRunAlphaSweepTiny(t *testing.T) {
+	opts := AlphaSweepOptions{
+		Dataset: "fmnist",
+		Alphas:  []float64{0.1, 10},
+		Methods: []string{"FedAvg", "FedClust"},
+		Seed:    1,
+		Quick:   true,
+	}
+	res := RunAlphaSweep(opts)
+	for _, m := range opts.Methods {
+		for _, a := range opts.Alphas {
+			v := res.Acc[m][a]
+			if v <= 0 || v > 1 {
+				t.Fatalf("%s α=%v acc %v", m, a, v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "α=0.1") {
+		t.Fatal("render missing alpha header")
+	}
+}
+
+func TestRunScaleTiny(t *testing.T) {
+	opts := ScaleOptions{Dataset: "fmnist", ClientSizes: []int{4, 8}, Seed: 1}
+	res := RunScale(opts)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.ClusteringTime <= 0 || r.RoundTime <= 0 {
+			t.Fatalf("timings not recorded: %+v", r)
+		}
+		if r.ARI < 0.99 {
+			t.Fatalf("scale run ARI = %v at n=%d", r.ARI, r.Clients)
+		}
+	}
+}
+
+func TestRunSelectorAblationQuick(t *testing.T) {
+	opts := DefaultSelectorAblationOptions()
+	res := RunSelectorAblation(opts)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Rule == "silhouette (default)" && (row.K != 2 || row.ARI < 0.99) {
+			t.Fatalf("default selector K=%d ARI=%v", row.K, row.ARI)
+		}
+		if row.Rule == "oracle k=2" && row.K != 2 {
+			t.Fatalf("oracle rule gave K=%d", row.K)
+		}
+	}
+	checks := res.ShapeChecks()
+	if len(checks) != 1 || !strings.HasPrefix(checks[0], "[PASS]") {
+		t.Fatalf("selector shape checks: %v", checks)
+	}
+}
+
+func TestRunCompressionQuick(t *testing.T) {
+	res := RunCompression(DefaultCompressionOptions())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var f64ARI, q8ARI float64
+	var f64Bytes, q8Bytes int64
+	for _, row := range res.Rows {
+		switch row.Codec.String() {
+		case "float64":
+			f64ARI, f64Bytes = row.ARI, row.UploadBytes
+		case "quant8":
+			q8ARI, q8Bytes = row.ARI, row.UploadBytes
+		}
+	}
+	if f64ARI < 0.99 || q8ARI < 0.99 {
+		t.Fatalf("compression broke clustering: f64=%v q8=%v", f64ARI, q8ARI)
+	}
+	if q8Bytes*7 >= f64Bytes {
+		t.Fatalf("quant8 not ~8x smaller: %d vs %d", q8Bytes, f64Bytes)
+	}
+	for _, c := range res.ShapeChecks() {
+		if !strings.HasPrefix(c, "[PASS]") {
+			t.Fatalf("compression shape check failed: %q", c)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/linalg"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Fig1Options configures the Fig. 1 layer-probe experiment: 10 clients in
+// two label groups train a VGG-16-shaped network locally; pairwise
+// distance matrices are computed from each probe layer's weights.
+type Fig1Options struct {
+	ClientsPerGroup int
+	// ProbeLayers are 1-based weight-layer indices (paper: 1, 7, 14, 16;
+	// VGG-16 has 13 conv + 3 FC weight layers).
+	ProbeLayers []int
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	// Base is the MiniVGG16 channel base (VGG's 64 → Base).
+	Base          int
+	TrainPerClass int
+	Seed          uint64
+}
+
+// DefaultFig1Options mirrors the paper's probe (scaled to the simulator).
+func DefaultFig1Options() Fig1Options {
+	return Fig1Options{
+		ClientsPerGroup: 5,
+		ProbeLayers:     []int{1, 7, 14, 16},
+		Epochs:          3,
+		BatchSize:       32,
+		LR:              0.05,
+		Base:            2,
+		TrainPerClass:   80,
+		Seed:            1,
+	}
+}
+
+// Fig1Layer is the probe output for one layer.
+type Fig1Layer struct {
+	// Layer is the 1-based weight-layer index; Kind is "CL" or "FL".
+	Layer int
+	Kind  string
+	// Dist is the clients×clients Euclidean distance matrix over this
+	// layer's weights.
+	Dist *tensor.Tensor
+	// BlockScore is inter/intra distance ratio against the true groups.
+	BlockScore float64
+	// ARI is the cluster-recovery score when HC clusters on this layer.
+	ARI float64
+}
+
+// Fig1Result is the full probe outcome.
+type Fig1Result struct {
+	Truth  []int
+	Layers []Fig1Layer
+}
+
+// RunFig1 reproduces the paper's Fig. 1: the same 10-client, two-group
+// CIFAR-style workload, a VGG-16-shaped model, and per-layer weight
+// distance matrices. The expected shape: early conv layers show weak
+// block structure; the final FC (classifier) layer shows a clean 2-block
+// pattern and perfect cluster recovery.
+func RunFig1(opts Fig1Options) *Fig1Result {
+	// CIFAR-style data at 32×32 (MiniVGG16's required input).
+	cfg := data.SynthConfig{
+		Name: "fig1-cifar", C: 3, H: 32, W: 32, Classes: 10,
+		TrainPerClass: opts.TrainPerClass, TestPerClass: 10,
+		ClassSep: 0.8, Noise: 1.0, SharedBG: 0.5, Smooth: 2, Seed: opts.Seed,
+	}
+	train, test := data.Generate(cfg)
+	r := rng.New(opts.Seed)
+	groups := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	clients, truth := fl.BuildGroupClients(train, test, groups,
+		[]int{opts.ClientsPerGroup, opts.ClientsPerGroup}, r)
+	env := &fl.Env{
+		Clients: clients,
+		Factory: func(fr *rng.Rng) *nn.Sequential {
+			return nn.MiniVGG16(fr, 3, 10, opts.Base)
+		},
+		Rounds: 1,
+		Local:  fl.LocalConfig{Epochs: opts.Epochs, BatchSize: opts.BatchSize, LR: opts.LR},
+		Seed:   opts.Seed,
+	}
+
+	// Train every client locally from the shared init once, keeping the
+	// trained models so all probe layers come from the same run.
+	init := nn.FlattenParams(env.NewModel())
+	n := len(env.Clients)
+	models := make([]*nn.Sequential, n)
+	env.ParallelClients(n, func(i int) {
+		m := env.NewModel()
+		nn.LoadParams(m, init)
+		fl.LocalUpdate(m, env.Clients[i].Train, env.Local, env.ClientRng(i, 0))
+		models[i] = m
+	})
+
+	numWL := nn.NumWeightLayers(env.NewModel())
+	res := &Fig1Result{Truth: truth}
+	for _, layer1 := range opts.ProbeLayers {
+		if layer1 < 1 || layer1 > numWL {
+			panic(fmt.Sprintf("experiments: probe layer %d out of range [1,%d]", layer1, numWL))
+		}
+		feats := make([][]float64, n)
+		for i, m := range models {
+			feats[i] = nn.LayerParamVector(m, layer1-1)
+		}
+		dist := linalg.PairwiseDistances(linalg.Euclidean, feats)
+		labels := cluster.Agglomerate(dist, cluster.Average).CutK(2)
+		kind := "CL"
+		if layer1 > numWL-3 {
+			kind = "FL"
+		}
+		res.Layers = append(res.Layers, Fig1Layer{
+			Layer:      layer1,
+			Kind:       kind,
+			Dist:       dist,
+			BlockScore: BlockScore(dist, truth),
+			ARI:        cluster.ARI(labels, truth),
+		})
+	}
+	return res
+}
+
+// Render prints the per-layer heatmaps and the block-structure summary.
+func (f *Fig1Result) Render(w io.Writer) {
+	for _, l := range f.Layers {
+		RenderHeatmap(w, fmt.Sprintf("Layer %d (%s) weight-distance matrix", l.Layer, l.Kind), l.Dist)
+		fmt.Fprintf(w, "  block score (inter/intra) = %.2f, HC cluster ARI = %.2f\n\n", l.BlockScore, l.ARI)
+	}
+	tab := NewTable("Layer", "Kind", "BlockScore", "ARI")
+	for _, l := range f.Layers {
+		tab.AddRow(fmt.Sprintf("%d", l.Layer), l.Kind,
+			fmt.Sprintf("%.2f", l.BlockScore), fmt.Sprintf("%.2f", l.ARI))
+	}
+	tab.Render(w)
+}
+
+// ShapeChecks verifies Fig. 1's qualitative claim: the final layer's
+// distance matrix separates the groups far better than the first layer's.
+func (f *Fig1Result) ShapeChecks() []string {
+	var out []string
+	if len(f.Layers) == 0 {
+		return []string{"[FAIL] no layers probed"}
+	}
+	first, last := f.Layers[0], f.Layers[len(f.Layers)-1]
+	ok1 := last.BlockScore > first.BlockScore
+	ok2 := last.ARI >= 0.99
+	status := func(b bool) string {
+		if b {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	out = append(out, fmt.Sprintf("[%s] final layer block score (%.2f) > layer-1 (%.2f)",
+		status(ok1), last.BlockScore, first.BlockScore))
+	out = append(out, fmt.Sprintf("[%s] final layer HC recovers groups (ARI %.2f)",
+		status(ok2), last.ARI))
+	return out
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"fedclust/internal/data"
+	"fedclust/internal/rng"
+)
+
+// generate is a local alias for data.Generate to keep workload builders
+// compact.
+func generate(cfg data.SynthConfig) (*data.Dataset, *data.Dataset) {
+	return data.Generate(cfg)
+}
+
+// newRng is a local alias for rng.New.
+func newRng(seed uint64) *rng.Rng { return rng.New(seed) }

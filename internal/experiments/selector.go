@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/core"
+)
+
+// SelectorAblationOptions configures experiment A3: how the automatic
+// cluster-count rule affects FedClust (silhouette parsimony vs largest
+// gap vs a fixed oracle k).
+type SelectorAblationOptions struct {
+	Dataset  string
+	Seed     uint64
+	Quick    bool
+	Progress io.Writer
+}
+
+// DefaultSelectorAblationOptions uses the fmnist stand-in.
+func DefaultSelectorAblationOptions() SelectorAblationOptions {
+	return SelectorAblationOptions{Dataset: "fmnist", Seed: 1, Quick: true}
+}
+
+// SelectorAblationRow is one rule's outcome on the two-group workload.
+type SelectorAblationRow struct {
+	Rule string
+	K    int
+	ARI  float64
+	Acc  float64
+}
+
+// SelectorAblationResult is the per-rule table.
+type SelectorAblationResult struct{ Rows []SelectorAblationRow }
+
+// RunSelectorAblation runs FedClust on the two-group workload under each
+// cluster-count rule, plus the oracle fixed k=2.
+func RunSelectorAblation(opts SelectorAblationOptions) *SelectorAblationResult {
+	w := PaperWorkload(opts.Dataset)
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	}
+	res := &SelectorAblationResult{}
+	configs := []struct {
+		rule string
+		cfg  core.Config
+	}{
+		{"silhouette (default)", core.Config{Selector: core.SelectSilhouette}},
+		{"largest-gap", core.Config{Selector: core.SelectLargestGap}},
+		{"oracle k=2", core.Config{NumClusters: 2}},
+	}
+	for _, c := range configs {
+		env, truth := buildGroupEnv(w, opts.Seed)
+		f := &core.FedClust{Cfg: c.cfg}
+		r := f.Run(env)
+		row := SelectorAblationRow{
+			Rule: c.rule,
+			K:    cluster.NumClusters(r.Clusters),
+			ARI:  cluster.ARI(r.Clusters, truth),
+			Acc:  r.FinalAcc,
+		}
+		res.Rows = append(res.Rows, row)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-22s K=%d ARI=%.2f acc=%.1f%%\n",
+				row.Rule, row.K, row.ARI, 100*row.Acc)
+		}
+	}
+	return res
+}
+
+// Render prints the selector comparison.
+func (r *SelectorAblationResult) Render(w io.Writer) {
+	tab := NewTable("Rule", "K", "ARI", "Acc%")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Rule, fmt.Sprintf("%d", row.K),
+			fmt.Sprintf("%.2f", row.ARI), fmt.Sprintf("%.1f", 100*row.Acc))
+	}
+	tab.Render(w)
+}
+
+// ShapeChecks verifies the default rule recovers the planted structure.
+func (r *SelectorAblationResult) ShapeChecks() []string {
+	var out []string
+	for _, row := range r.Rows {
+		if row.Rule == "silhouette (default)" {
+			ok := row.ARI >= 0.99 && row.K == 2
+			s := "PASS"
+			if !ok {
+				s = "FAIL"
+			}
+			out = append(out, fmt.Sprintf("[%s] default selector finds the 2 planted groups (K=%d, ARI=%.2f)",
+				s, row.K, row.ARI))
+		}
+	}
+	return out
+}

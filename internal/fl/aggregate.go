@@ -1,0 +1,70 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedAverage computes the sample-count-weighted average of parameter
+// vectors: Σ (wᵢ/Σw)·vecᵢ. It panics on empty input, mismatched lengths,
+// or non-positive total weight. This is FedAvg's aggregation rule.
+func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 {
+		panic("fl: WeightedAverage of nothing")
+	}
+	if len(vecs) != len(weights) {
+		panic(fmt.Sprintf("fl: %d vectors but %d weights", len(vecs), len(weights)))
+	}
+	dim := len(vecs[0])
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("fl: negative weight %v", w))
+		}
+		if len(vecs[i]) != dim {
+			panic(fmt.Sprintf("fl: vector %d has length %d, want %d", i, len(vecs[i]), dim))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("fl: total weight must be positive")
+	}
+	out := make([]float64, dim)
+	for i, v := range vecs {
+		scale := weights[i] / total
+		for j, x := range v {
+			out[j] += scale * x
+		}
+	}
+	return out
+}
+
+// UniformAverage averages parameter vectors with equal weight.
+func UniformAverage(vecs [][]float64) []float64 {
+	w := make([]float64, len(vecs))
+	for i := range w {
+		w[i] = 1
+	}
+	return WeightedAverage(vecs, w)
+}
+
+// Delta returns after - before elementwise (a client's model update).
+func Delta(after, before []float64) []float64 {
+	if len(after) != len(before) {
+		panic(fmt.Sprintf("fl: Delta length mismatch %d vs %d", len(after), len(before)))
+	}
+	out := make([]float64, len(after))
+	for i := range out {
+		out[i] = after[i] - before[i]
+	}
+	return out
+}
+
+// L2Norm returns the Euclidean norm of a vector.
+func L2Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,49 @@
+package fl
+
+import (
+	"fedclust/internal/data"
+	"fedclust/internal/partition"
+	"fedclust/internal/rng"
+)
+
+// BuildClients materializes a client population from a train/test dataset
+// pair and a training-index assignment. Each client's test split is drawn
+// from the global test set so that its label distribution matches its
+// training distribution (the personalized evaluation protocol).
+func BuildClients(train, test *data.Dataset, assign partition.Assignment, r *rng.Rng) []*Client {
+	trainHists := partition.ClientLabelHistograms(assign, train.Y, train.Classes)
+	testAssign := partition.MatchingTest(trainHists, test.Y, test.Classes, r)
+	clients := make([]*Client, len(assign))
+	for i := range assign {
+		clients[i] = &Client{
+			ID:    i,
+			Train: train.Subset(assign[i]),
+			Test:  test.Subset(testAssign[i]),
+		}
+	}
+	return clients
+}
+
+// BuildDirichletClients is the Table-I workload builder: partition train
+// with Dir(alpha) label skew over numClients and give each client a
+// matching test split.
+func BuildDirichletClients(train, test *data.Dataset, numClients int, alpha float64, r *rng.Rng) []*Client {
+	minPer := 2 * train.Classes
+	if minPer*numClients > train.Len() {
+		minPer = train.Len() / numClients
+		if minPer < 1 {
+			minPer = 1
+		}
+	}
+	assign := partition.Dirichlet(train.Y, numClients, alpha, minPer, r)
+	return BuildClients(train, test, assign, r.Derive(0x7e57))
+}
+
+// BuildGroupClients is the Fig-1 workload builder: clients are split into
+// label groups (e.g. classes {0..4} vs {5..9}); returns the clients plus
+// the ground-truth group of each client.
+func BuildGroupClients(train, test *data.Dataset, groups [][]int, clientsPerGroup []int, r *rng.Rng) ([]*Client, []int) {
+	assign := partition.LabelGroups(train.Y, groups, clientsPerGroup, r)
+	clients := BuildClients(train, test, assign, r.Derive(0x7e57))
+	return clients, partition.GroupTruth(clientsPerGroup)
+}

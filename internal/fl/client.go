@@ -1,0 +1,102 @@
+// Package fl is the federated-learning substrate: clients with local
+// datasets, local SGD updates, sample-weighted aggregation, communication
+// accounting, a parallel client executor, and the personalized evaluation
+// protocol shared by every method in internal/methods and internal/core.
+package fl
+
+import (
+	"fmt"
+
+	"fedclust/internal/data"
+	"fedclust/internal/nn"
+	"fedclust/internal/opt"
+	"fedclust/internal/rng"
+)
+
+// Client is one simulated device: an id plus local train and test splits.
+// The test split follows the client's own label distribution (personalized
+// evaluation; see partition.MatchingTest).
+type Client struct {
+	ID    int
+	Train *data.Dataset
+	Test  *data.Dataset
+}
+
+// LocalConfig controls one client's local training pass.
+type LocalConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// ProxMu, when positive, adds the FedProx proximal term pulling
+	// weights toward the round's starting parameters.
+	ProxMu float64
+}
+
+// Validate panics on degenerate configuration.
+func (c LocalConfig) Validate() {
+	if c.Epochs < 1 || c.BatchSize < 1 {
+		panic(fmt.Sprintf("fl: invalid local config epochs=%d batch=%d", c.Epochs, c.BatchSize))
+	}
+	if c.LR <= 0 {
+		panic(fmt.Sprintf("fl: invalid learning rate %v", c.LR))
+	}
+	if c.ProxMu < 0 {
+		panic(fmt.Sprintf("fl: negative prox mu %v", c.ProxMu))
+	}
+}
+
+// LocalUpdate trains model in place on d for cfg.Epochs passes of local
+// SGD and returns the mean training loss over all processed batches.
+// If cfg.ProxMu > 0 the FedProx proximal term is applied against the
+// parameters the model held when LocalUpdate was called (i.e. the global
+// weights just loaded). r drives batch shuffling.
+func LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg LocalConfig, r *rng.Rng) float64 {
+	cfg.Validate()
+	if d.Len() == 0 {
+		return 0
+	}
+	var proxRef []float64
+	if cfg.ProxMu > 0 {
+		proxRef = nn.FlattenParams(model)
+	}
+	sgd := opt.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	var ce nn.SoftmaxCE
+	var totalLoss float64
+	batches := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		for _, b := range d.Batches(cfg.BatchSize, r) {
+			model.ZeroGrads()
+			logits := model.Forward(b.X, true)
+			loss, grad, _ := ce.Loss(logits, b.Y)
+			model.Backward(grad)
+			if cfg.ProxMu > 0 {
+				opt.AddProximal(model.Params(), model.Grads(), proxRef, cfg.ProxMu)
+			}
+			sgd.Step(model.Params(), model.Grads())
+			totalLoss += loss
+			batches++
+		}
+	}
+	return totalLoss / float64(batches)
+}
+
+// Evaluate computes mean cross-entropy loss and accuracy of model on d
+// (evaluation mode, batched to bound memory). Empty datasets return (0, 0).
+func Evaluate(model *nn.Sequential, d *data.Dataset, batchSize int) (loss, acc float64) {
+	if d.Len() == 0 {
+		return 0, 0
+	}
+	var ce nn.SoftmaxCE
+	var lossSum float64
+	correct := 0
+	for _, b := range d.Batches(batchSize, nil) {
+		logits := model.Forward(b.X, false)
+		l, _, _ := ce.Loss(logits, b.Y)
+		lossSum += l * float64(len(b.Y))
+		acc := nn.Accuracy(logits, b.Y)
+		correct += int(acc*float64(len(b.Y)) + 0.5)
+	}
+	return lossSum / float64(d.Len()), float64(correct) / float64(d.Len())
+}

@@ -1,0 +1,34 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedclust/internal/nn"
+	"fedclust/internal/wire"
+)
+
+// EncodeParams serializes a model's parameters into a wire frame under the
+// chosen codec — what a client actually puts on the network.
+func EncodeParams(model *nn.Sequential, c wire.Codec) []byte {
+	return wire.Encode(c, nn.FlattenParams(model))
+}
+
+// DecodeParams loads a wire frame produced by EncodeParams back into the
+// model. Lossy codecs round-trip with their codec-specific error.
+func DecodeParams(model *nn.Sequential, frame []byte) error {
+	vec, err := wire.Decode(frame)
+	if err != nil {
+		return err
+	}
+	if len(vec) != model.NumParams() {
+		return fmt.Errorf("fl: decoded %d params, model has %d", len(vec), model.NumParams())
+	}
+	nn.LoadParams(model, vec)
+	return nil
+}
+
+// EncodedParamBytes returns the frame size of a model under codec c —
+// the concrete per-message volume behind CommStats accounting.
+func EncodedParamBytes(model *nn.Sequential, c wire.Codec) int {
+	return wire.EncodedSize(c, model.NumParams())
+}

@@ -1,0 +1,70 @@
+package fl
+
+import "fmt"
+
+// BytesPerParam is the on-the-wire size of one model scalar (float64).
+// The paper's communication-cost claims are about relative volumes, so the
+// exact width only scales every method identically.
+const BytesPerParam = 8
+
+// CommStats accumulates simulated communication volume. Uplink is
+// client→server, downlink server→client.
+type CommStats struct {
+	UpBytes   int64
+	DownBytes int64
+	// PerRound records (up, down) per completed round for plots.
+	PerRound []RoundComm
+}
+
+// RoundComm is one round's traffic.
+type RoundComm struct {
+	Round     int
+	UpBytes   int64
+	DownBytes int64
+}
+
+// Upload records nParams scalars uploaded by nClients clients.
+func (c *CommStats) Upload(nClients, nParams int) {
+	c.UpBytes += int64(nClients) * int64(nParams) * BytesPerParam
+}
+
+// Download records nParams scalars downloaded by nClients clients.
+func (c *CommStats) Download(nClients, nParams int) {
+	c.DownBytes += int64(nClients) * int64(nParams) * BytesPerParam
+}
+
+// EndRound snapshots the traffic delta since the previous EndRound call.
+func (c *CommStats) EndRound(round int) {
+	var prevUp, prevDown int64
+	for _, r := range c.PerRound {
+		prevUp += r.UpBytes
+		prevDown += r.DownBytes
+	}
+	c.PerRound = append(c.PerRound, RoundComm{
+		Round:     round,
+		UpBytes:   c.UpBytes - prevUp,
+		DownBytes: c.DownBytes - prevDown,
+	})
+}
+
+// Total returns up+down bytes.
+func (c *CommStats) Total() int64 { return c.UpBytes + c.DownBytes }
+
+// String formats the totals human-readably.
+func (c *CommStats) String() string {
+	return fmt.Sprintf("up %s, down %s", FormatBytes(c.UpBytes), FormatBytes(c.DownBytes))
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

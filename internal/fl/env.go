@@ -1,0 +1,169 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/stats"
+)
+
+// ModelFactory builds a network with a deterministic architecture whose
+// initial weights are drawn from the supplied stream. Every call with the
+// same stream state yields an identical model, so all methods in a
+// comparison start from the same w₀.
+type ModelFactory func(r *rng.Rng) *nn.Sequential
+
+// Env is everything a federated method needs to run: the client
+// population, the model architecture, round/local-training configuration,
+// and deterministic randomness.
+type Env struct {
+	Clients []*Client
+	Factory ModelFactory
+	Rounds  int
+	Local   LocalConfig
+	Seed    uint64
+	// EvalEvery controls how often personalized accuracy is recorded
+	// (every k rounds; 0 means only after the final round).
+	EvalEvery int
+	// EvalBatch is the evaluation batch size (default 64 when 0).
+	EvalBatch int
+	// Workers caps the parallel client executor (default GOMAXPROCS).
+	Workers int
+	// Participation controls per-round client sampling and failure
+	// injection (zero value: full participation, no failures).
+	Participation Participation
+}
+
+// Validate panics on degenerate environments.
+func (e *Env) Validate() {
+	if len(e.Clients) == 0 {
+		panic("fl: Env has no clients")
+	}
+	if e.Factory == nil {
+		panic("fl: Env has no model factory")
+	}
+	if e.Rounds < 1 {
+		panic(fmt.Sprintf("fl: Rounds must be positive, got %d", e.Rounds))
+	}
+	e.Local.Validate()
+	e.Participation.Validate()
+}
+
+// NewModel builds the canonical initial model (same weights every call).
+func (e *Env) NewModel() *nn.Sequential {
+	return e.Factory(rng.New(e.Seed).Derive(0x10de1))
+}
+
+// ClientRng returns the deterministic stream for a client in a round.
+func (e *Env) ClientRng(clientID, round int) *rng.Rng {
+	return rng.New(e.Seed).Derive(0xc11e47, uint64(clientID), uint64(round))
+}
+
+// evalBatch returns the effective evaluation batch size.
+func (e *Env) evalBatch() int {
+	if e.EvalBatch > 0 {
+		return e.EvalBatch
+	}
+	return 64
+}
+
+// workers returns the effective parallelism.
+func (e *Env) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelClients runs fn(i) for every client index in [0, n) across the
+// environment's worker pool. fn must be safe to call concurrently for
+// distinct indices.
+func (e *Env) ParallelClients(n int, fn func(i int)) {
+	ParallelFor(n, e.workers(), fn)
+}
+
+// ParallelFor runs fn(0..n-1) over `workers` goroutines.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ShouldEval reports whether metrics should be recorded after round r
+// (0-based; the final round always evaluates).
+func (e *Env) ShouldEval(r int) bool {
+	if r == e.Rounds-1 {
+		return true
+	}
+	return e.EvalEvery > 0 && (r+1)%e.EvalEvery == 0
+}
+
+// EvaluatePersonalized evaluates, for each client, the model selected by
+// modelFor (e.g. its cluster's model) on the client's local test split and
+// returns per-client accuracies plus the mean accuracy and loss.
+// Clients with empty test sets are skipped in the means.
+func (e *Env) EvaluatePersonalized(modelFor func(clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
+	n := len(e.Clients)
+	perClient = make([]float64, n)
+	losses := make([]float64, n)
+	valid := make([]bool, n)
+	e.ParallelClients(n, func(i int) {
+		c := e.Clients[i]
+		if c.Test == nil || c.Test.Len() == 0 {
+			return
+		}
+		l, a := Evaluate(modelFor(i), c.Test, e.evalBatch())
+		perClient[i] = a
+		losses[i] = l
+		valid[i] = true
+	})
+	var accs, ls []float64
+	for i := range valid {
+		if valid[i] {
+			accs = append(accs, perClient[i])
+			ls = append(ls, losses[i])
+		}
+	}
+	if len(accs) == 0 {
+		return perClient, 0, 0
+	}
+	return perClient, stats.Mean(accs), stats.Mean(ls)
+}
+
+// TrainSizes returns each client's training-set size as float weights for
+// aggregation.
+func (e *Env) TrainSizes() []float64 {
+	w := make([]float64, len(e.Clients))
+	for i, c := range e.Clients {
+		w[i] = float64(c.Train.Len())
+	}
+	return w
+}

@@ -1,0 +1,407 @@
+package fl
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"fedclust/internal/data"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+	"fedclust/internal/wire"
+)
+
+// tinyDataset builds a linearly separable 2-class dataset.
+func tinyDataset(n int, r *rng.Rng) *data.Dataset {
+	d := &data.Dataset{
+		Name: "tiny", X: tensor.New(n, 2), Y: make([]int, n),
+		Classes: 2, C: 1, H: 1, W: 2,
+	}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		d.Y[i] = c
+		d.X.Set(float64(2*c-1)*2+0.3*r.NormFloat64(), i, 0)
+		d.X.Set(0.3*r.NormFloat64(), i, 1)
+	}
+	return d
+}
+
+func tinyFactory(r *rng.Rng) *nn.Sequential { return nn.MLP(r, 2, 8, 2) }
+
+func tinyEnv(nClients int, seed uint64) *Env {
+	r := rng.New(seed)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i] = &Client{
+			ID:    i,
+			Train: tinyDataset(40, r.Derive(uint64(i), 1)),
+			Test:  tinyDataset(20, r.Derive(uint64(i), 2)),
+		}
+	}
+	return &Env{
+		Clients: clients,
+		Factory: tinyFactory,
+		Rounds:  3,
+		Local:   LocalConfig{Epochs: 1, BatchSize: 10, LR: 0.1},
+		Seed:    seed,
+	}
+}
+
+func TestLocalUpdateReducesLoss(t *testing.T) {
+	r := rng.New(1)
+	d := tinyDataset(60, r)
+	model := tinyFactory(rng.New(2))
+	before, _ := Evaluate(model, d, 32)
+	cfg := LocalConfig{Epochs: 20, BatchSize: 10, LR: 0.2}
+	LocalUpdate(model, d, cfg, r)
+	after, acc := Evaluate(model, d, 32)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v → %v", before, after)
+	}
+	if acc < 0.9 {
+		t.Fatalf("accuracy after training = %v", acc)
+	}
+}
+
+func TestLocalUpdateProxStaysCloser(t *testing.T) {
+	// With a large proximal term the local model must end closer to the
+	// starting point than without it.
+	run := func(mu float64) float64 {
+		model := tinyFactory(rng.New(3))
+		start := nn.FlattenParams(model)
+		cfg := LocalConfig{Epochs: 10, BatchSize: 10, LR: 0.2, ProxMu: mu}
+		LocalUpdate(model, tinyDataset(60, rng.New(4)), cfg, rng.New(5))
+		return L2Norm(Delta(nn.FlattenParams(model), start))
+	}
+	free, prox := run(0), run(5.0)
+	if prox >= free {
+		t.Fatalf("prox drift %v should be below unconstrained drift %v", prox, free)
+	}
+}
+
+func TestLocalUpdateEmptyDataset(t *testing.T) {
+	model := tinyFactory(rng.New(6))
+	empty := &data.Dataset{Name: "e", X: tensor.New(0, 2), Y: nil, Classes: 2, C: 1, H: 1, W: 2}
+	if loss := LocalUpdate(model, empty, LocalConfig{Epochs: 1, BatchSize: 4, LR: 0.1}, rng.New(7)); loss != 0 {
+		t.Fatalf("empty dataset loss = %v", loss)
+	}
+}
+
+func TestLocalUpdateDeterministic(t *testing.T) {
+	d := tinyDataset(40, rng.New(8))
+	run := func() []float64 {
+		m := tinyFactory(rng.New(9))
+		LocalUpdate(m, d, LocalConfig{Epochs: 2, BatchSize: 8, LR: 0.1}, rng.New(10))
+		return nn.FlattenParams(m)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LocalUpdate not deterministic under fixed seeds")
+		}
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	vecs := [][]float64{{1, 0}, {3, 4}}
+	got := WeightedAverage(vecs, []float64{1, 3})
+	if math.Abs(got[0]-2.5) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Fatalf("WeightedAverage = %v", got)
+	}
+}
+
+func TestWeightedAverageWeightsNormalizeProperty(t *testing.T) {
+	// Scaling all weights by a constant must not change the result.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, dim := 1+r.Intn(5), 1+r.Intn(6)
+		vecs := make([][]float64, n)
+		w := make([]float64, n)
+		w2 := make([]float64, n)
+		for i := range vecs {
+			vecs[i] = make([]float64, dim)
+			for j := range vecs[i] {
+				vecs[i][j] = r.NormFloat64()
+			}
+			w[i] = 0.1 + r.Float64()
+			w2[i] = w[i] * 7.3
+		}
+		a := WeightedAverage(vecs, w)
+		b := WeightedAverage(vecs, w2)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedAverageIsConvex(t *testing.T) {
+	// The average must lie inside the coordinate-wise min/max envelope.
+	vecs := [][]float64{{0, 10}, {4, 20}, {2, 12}}
+	got := WeightedAverage(vecs, []float64{1, 2, 3})
+	if got[0] < 0 || got[0] > 4 || got[1] < 10 || got[1] > 20 {
+		t.Fatalf("average escaped convex hull: %v", got)
+	}
+}
+
+func TestWeightedAveragePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WeightedAverage(nil, nil) },
+		func() { WeightedAverage([][]float64{{1}}, []float64{1, 2}) },
+		func() { WeightedAverage([][]float64{{1}, {1, 2}}, []float64{1, 1}) },
+		func() { WeightedAverage([][]float64{{1}}, []float64{0}) },
+		func() { WeightedAverage([][]float64{{1}}, []float64{-1}) },
+	} {
+		func(f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid WeightedAverage input did not panic")
+				}
+			}()
+			f()
+		}(f)
+	}
+}
+
+func TestUniformAverageAndDelta(t *testing.T) {
+	got := UniformAverage([][]float64{{2, 0}, {4, 6}})
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("UniformAverage = %v", got)
+	}
+	d := Delta([]float64{5, 1}, []float64{2, 3})
+	if d[0] != 3 || d[1] != -2 {
+		t.Fatalf("Delta = %v", d)
+	}
+	if n := L2Norm([]float64{3, 4}); n != 5 {
+		t.Fatalf("L2Norm = %v", n)
+	}
+}
+
+func TestCommStats(t *testing.T) {
+	var c CommStats
+	c.Upload(10, 100)  // 10*100*8 = 8000
+	c.Download(5, 100) // 4000
+	if c.UpBytes != 8000 || c.DownBytes != 4000 || c.Total() != 12000 {
+		t.Fatalf("comm = %+v", c)
+	}
+	c.EndRound(1)
+	c.Upload(1, 100)
+	c.EndRound(2)
+	if len(c.PerRound) != 2 || c.PerRound[0].UpBytes != 8000 || c.PerRound[1].UpBytes != 800 {
+		t.Fatalf("per-round = %+v", c.PerRound)
+	}
+	if c.PerRound[1].DownBytes != 0 {
+		t.Fatal("round 2 downlink should be 0")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	if FormatBytes(512) != "512 B" {
+		t.Fatalf("FormatBytes(512) = %q", FormatBytes(512))
+	}
+	if FormatBytes(2048) != "2.0 KiB" {
+		t.Fatalf("FormatBytes(2048) = %q", FormatBytes(2048))
+	}
+	if FormatBytes(3*1024*1024) != "3.0 MiB" {
+		t.Fatalf("FormatBytes(3MiB) = %q", FormatBytes(3*1024*1024))
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var count int64
+		seen := make([]int64, 100)
+		ParallelFor(100, workers, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&seen[i], 1)
+		})
+		if count != 100 {
+			t.Fatalf("workers=%d ran %d tasks", workers, count)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("index %d ran %d times", i, s)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(i int) { t.Fatal("should not run") })
+}
+
+func TestEnvNewModelDeterministic(t *testing.T) {
+	env := tinyEnv(3, 42)
+	a := nn.FlattenParams(env.NewModel())
+	b := nn.FlattenParams(env.NewModel())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("NewModel must return identical weights every call")
+		}
+	}
+}
+
+func TestEnvClientRngStreamsDiffer(t *testing.T) {
+	env := tinyEnv(3, 42)
+	a := env.ClientRng(0, 0).Uint64()
+	b := env.ClientRng(1, 0).Uint64()
+	c := env.ClientRng(0, 1).Uint64()
+	if a == b || a == c {
+		t.Fatal("client rng streams collide")
+	}
+	if env.ClientRng(0, 0).Uint64() != a {
+		t.Fatal("client rng not deterministic")
+	}
+}
+
+func TestShouldEval(t *testing.T) {
+	env := tinyEnv(2, 1)
+	env.Rounds = 10
+	env.EvalEvery = 3
+	wantTrue := map[int]bool{2: true, 5: true, 8: true, 9: true}
+	for r := 0; r < 10; r++ {
+		if got := env.ShouldEval(r); got != wantTrue[r] {
+			t.Fatalf("ShouldEval(%d) = %v", r, got)
+		}
+	}
+	env.EvalEvery = 0
+	for r := 0; r < 9; r++ {
+		if env.ShouldEval(r) {
+			t.Fatalf("EvalEvery=0 should only eval final round, got round %d", r)
+		}
+	}
+	if !env.ShouldEval(9) {
+		t.Fatal("final round must always evaluate")
+	}
+}
+
+func TestEvaluatePersonalized(t *testing.T) {
+	env := tinyEnv(4, 7)
+	// Train one good model and serve it to everyone.
+	model := env.NewModel()
+	merged := data.Merge(env.Clients[0].Train, env.Clients[1].Train)
+	LocalUpdate(model, merged, LocalConfig{Epochs: 30, BatchSize: 16, LR: 0.2}, rng.New(8))
+	per, mean, loss := env.EvaluatePersonalized(func(int) *nn.Sequential { return model })
+	if len(per) != 4 {
+		t.Fatalf("per-client length = %d", len(per))
+	}
+	if mean < 0.9 {
+		t.Fatalf("personalized accuracy = %v on separable data", mean)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+}
+
+func TestBuildDirichletClients(t *testing.T) {
+	cfg := data.SynthFMNIST(3)
+	cfg.TrainPerClass, cfg.TestPerClass = 30, 10
+	train, test := data.Generate(cfg)
+	clients := BuildDirichletClients(train, test, 8, 0.1, rng.New(4))
+	if len(clients) != 8 {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	totalTrain := 0
+	for _, c := range clients {
+		totalTrain += c.Train.Len()
+		if c.Train.Len() == 0 {
+			t.Fatal("client with empty train set")
+		}
+		// Test distribution must be supported on train classes only.
+		trainH := c.Train.LabelHistogram()
+		for k, cnt := range c.Test.LabelHistogram() {
+			if cnt > 0 && trainH[k] == 0 {
+				t.Fatalf("client %d tests on class %d it never trains on", c.ID, k)
+			}
+		}
+	}
+	if totalTrain != train.Len() {
+		t.Fatalf("train examples lost: %d of %d", totalTrain, train.Len())
+	}
+}
+
+func TestBuildGroupClients(t *testing.T) {
+	cfg := data.SynthFMNIST(5)
+	cfg.TrainPerClass, cfg.TestPerClass = 20, 10
+	train, test := data.Generate(cfg)
+	groups := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	clients, truth := BuildGroupClients(train, test, groups, []int{3, 3}, rng.New(6))
+	if len(clients) != 6 || len(truth) != 6 {
+		t.Fatalf("sizes %d/%d", len(clients), len(truth))
+	}
+	for i, c := range clients {
+		h := c.Train.LabelHistogram()
+		for k := 0; k < 10; k++ {
+			inGroup := (k < 5) == (truth[i] == 0)
+			if !inGroup && h[k] > 0 {
+				t.Fatalf("client %d holds out-of-group class %d", i, k)
+			}
+		}
+	}
+}
+
+func TestEnvValidate(t *testing.T) {
+	env := tinyEnv(2, 1)
+	env.Validate() // ok
+	bad := *env
+	bad.Rounds = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rounds=0 did not panic")
+		}
+	}()
+	bad.Validate()
+}
+
+func TestEncodeDecodeParamsRoundTrip(t *testing.T) {
+	model := tinyFactory(rng.New(61))
+	orig := nn.FlattenParams(model)
+	frame := EncodeParams(model, wire.Float64)
+	if len(frame) != EncodedParamBytes(model, wire.Float64) {
+		t.Fatal("EncodedParamBytes disagrees with actual frame size")
+	}
+	other := tinyFactory(rng.New(62))
+	if err := DecodeParams(other, frame); err != nil {
+		t.Fatal(err)
+	}
+	got := nn.FlattenParams(other)
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatal("float64 codec round trip lossy")
+		}
+	}
+}
+
+func TestDecodeParamsRejectsWrongModel(t *testing.T) {
+	small := tinyFactory(rng.New(63))
+	big := nn.MLP(rng.New(64), 2, 30, 2)
+	frame := EncodeParams(small, wire.Float32)
+	if err := DecodeParams(big, frame); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+	if err := DecodeParams(big, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage frame not rejected")
+	}
+}
+
+func TestQuant8ParamsStayUsable(t *testing.T) {
+	// Quantizing a trained model's weights to 8 bits must not destroy its
+	// accuracy on an easy task.
+	r := rng.New(65)
+	d := tinyDataset(60, r)
+	model := tinyFactory(rng.New(66))
+	LocalUpdate(model, d, LocalConfig{Epochs: 30, BatchSize: 16, LR: 0.2}, r)
+	_, accBefore := Evaluate(model, d, 32)
+	frame := EncodeParams(model, wire.Quant8)
+	if err := DecodeParams(model, frame); err != nil {
+		t.Fatal(err)
+	}
+	_, accAfter := Evaluate(model, d, 32)
+	if accBefore-accAfter > 0.05 {
+		t.Fatalf("quant8 destroyed the model: %v → %v", accBefore, accAfter)
+	}
+}

@@ -1,0 +1,76 @@
+package fl
+
+import "fmt"
+
+// Participation controls per-round client sampling and failure injection.
+// The zero value means full participation with no failures — the setting
+// of the paper's experiments. FedAvg-style trainers honor it; clustered
+// trainers in this repo keep full participation (as the clustered-FL
+// literature assumes) and document so.
+type Participation struct {
+	// Fraction of clients invited each round (McMahan et al.'s C).
+	// 0 or 1 means everyone.
+	Fraction float64
+	// DropRate is the probability an invited client fails to report its
+	// update (crash, network loss). The server aggregates whoever
+	// reported.
+	DropRate float64
+	// MinClients lower-bounds the invited set (default 1).
+	MinClients int
+}
+
+// Validate panics on out-of-range settings.
+func (p Participation) Validate() {
+	if p.Fraction < 0 || p.Fraction > 1 {
+		panic(fmt.Sprintf("fl: participation fraction %v out of [0,1]", p.Fraction))
+	}
+	if p.DropRate < 0 || p.DropRate >= 1 {
+		panic(fmt.Sprintf("fl: drop rate %v out of [0,1)", p.DropRate))
+	}
+	if p.MinClients < 0 {
+		panic(fmt.Sprintf("fl: negative MinClients %d", p.MinClients))
+	}
+}
+
+// SampleRound draws the round's invited and reporting client sets,
+// deterministically from the environment seed. reported is always
+// non-empty (if every invited client would drop, one survivor is kept so
+// the round is not wasted).
+func (e *Env) SampleRound(round int) (invited, reported []int) {
+	p := e.Participation
+	p.Validate()
+	n := len(e.Clients)
+	r := e.ClientRng(-1, round) // server-side stream for this round
+	// Invited set.
+	if p.Fraction == 0 || p.Fraction >= 1 {
+		invited = make([]int, n)
+		for i := range invited {
+			invited[i] = i
+		}
+	} else {
+		k := int(p.Fraction*float64(n) + 0.5)
+		if k < p.MinClients {
+			k = p.MinClients
+		}
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		invited = r.Perm(n)[:k]
+	}
+	// Failure injection.
+	if p.DropRate == 0 {
+		return invited, append([]int(nil), invited...)
+	}
+	for _, c := range invited {
+		if r.Float64() >= p.DropRate {
+			reported = append(reported, c)
+		}
+	}
+	if len(reported) == 0 {
+		reported = []int{invited[r.Intn(len(invited))]}
+	}
+	return invited, reported
+}

@@ -1,0 +1,54 @@
+package fl
+
+import "fmt"
+
+// Trainer is one federated-learning method (FedAvg, FedProx, CFL, IFCA,
+// PACFL, FedClust). Run executes the full training schedule on the
+// environment and reports a Result.
+type Trainer interface {
+	Name() string
+	Run(env *Env) *Result
+}
+
+// RoundMetrics is an evaluation snapshot after a given round (1-based).
+type RoundMetrics struct {
+	Round    int
+	MeanAcc  float64
+	MeanLoss float64
+}
+
+// Result is the outcome of one Trainer run.
+type Result struct {
+	Method string
+	// FinalAcc is the mean personalized test accuracy (fraction in [0,1]).
+	FinalAcc float64
+	// FinalLoss is the matching mean test loss.
+	FinalLoss float64
+	// PerClientAcc is each client's personalized test accuracy.
+	PerClientAcc []float64
+	// History holds periodic evaluation snapshots (always includes the
+	// final round).
+	History []RoundMetrics
+	// Comm is the total simulated traffic.
+	Comm CommStats
+	// Clusters is the final client→cluster assignment for clustered
+	// methods (nil for global-model methods).
+	Clusters []int
+	// ClusterFormationRound is the 1-based round after which the cluster
+	// assignment last changed (0 when clustering is one-shot before
+	// round 1, -1 for non-clustered methods).
+	ClusterFormationRound int
+	// ClusterFormationUpBytes is the uplink volume spent before the
+	// clusters stabilized — the paper's "communication cost of cluster
+	// formation" comparison.
+	ClusterFormationUpBytes int64
+}
+
+// String summarizes the result on one line.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s: acc %.2f%%, %s", r.Method, 100*r.FinalAcc, r.Comm.String())
+	if r.Clusters != nil {
+		s += fmt.Sprintf(", clusters formed by round %d", r.ClusterFormationRound)
+	}
+	return s
+}

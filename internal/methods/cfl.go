@@ -1,0 +1,243 @@
+package methods
+
+import (
+	"fedclust/internal/cluster"
+	"fedclust/internal/fl"
+	"fedclust/internal/linalg"
+	"fedclust/internal/nn"
+	"fedclust/internal/tensor"
+)
+
+// CFL (Clustered Federated Learning, Sattler et al. 2020) starts with all
+// clients in one FedAvg cluster and recursively bi-partitions a cluster
+// when its aggregate update has nearly converged (‖mean Δ‖ small) while
+// individual clients still disagree (max ‖Δᵢ‖ large). The split uses the
+// sign structure of the pairwise cosine similarity of client updates.
+//
+// Because splits can only happen after a cluster's mean update stalls,
+// stable clusters take many rounds to form — the communication-cost
+// weakness the paper contrasts FedClust against.
+type CFL struct {
+	// Eps1 is the disagreement threshold: a cluster is split only when
+	// ‖mean Δ‖ / max‖Δᵢ‖ < Eps1, i.e. individual clients still push hard
+	// in directions that cancel in the average (default 0.12). Sattler et
+	// al. split only near such stationary points, which is what makes
+	// CFL's cluster formation slow — the property the paper critiques.
+	Eps1 float64
+	// Eps2 guards against splitting after genuine convergence: a split
+	// also requires max‖Δᵢ‖ > Eps2 · (round-0 max update norm), so
+	// clusters whose members have all stopped moving are left alone
+	// (default 0.4).
+	Eps2 float64
+	// MinClusterSize blocks splits that would create clusters smaller
+	// than this (default 2).
+	MinClusterSize int
+	// WarmupRounds disables splitting for the first rounds (default 5).
+	WarmupRounds int
+}
+
+// Name implements fl.Trainer.
+func (CFL) Name() string { return "CFL" }
+
+func (c CFL) defaults() CFL {
+	if c.Eps1 == 0 {
+		c.Eps1 = 0.12
+	}
+	if c.Eps2 == 0 {
+		c.Eps2 = 0.4
+	}
+	if c.MinClusterSize == 0 {
+		c.MinClusterSize = 2
+	}
+	if c.WarmupRounds == 0 {
+		c.WarmupRounds = 5
+	}
+	return c
+}
+
+// Run implements fl.Trainer.
+func (c CFL) Run(env *fl.Env) *fl.Result {
+	env.Validate()
+	c = c.defaults()
+	res := &fl.Result{Method: "CFL"}
+	n := len(env.Clients)
+	// clusters[i] = cluster id of client i; models[id] = flat params.
+	assign := make([]int, n)
+	models := map[int][]float64{0: nn.FlattenParams(env.NewModel())}
+	nParams := len(models[0])
+	weights := env.TrainSizes()
+	locals := make([][]float64, n)
+	deltas := make([][]float64, n)
+	lastChange := 0
+	var refNorm float64 // max client-update norm of round 0: the scale reference
+
+	for round := 0; round < env.Rounds; round++ {
+		res.Comm.Download(n, nParams)
+		env.ParallelClients(n, func(i int) {
+			model := env.NewModel()
+			start := models[assign[i]]
+			nn.LoadParams(model, start)
+			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
+			locals[i] = nn.FlattenParams(model)
+			deltas[i] = fl.Delta(locals[i], start)
+		})
+		res.Comm.Upload(n, nParams)
+
+		// Aggregate per cluster, then consider splitting each cluster.
+		ids := clusterIDs(assign)
+		for _, id := range ids {
+			members := membersOf(assign, id)
+			var vecs [][]float64
+			var ws []float64
+			for _, i := range members {
+				vecs = append(vecs, locals[i])
+				ws = append(ws, weights[i])
+			}
+			models[id] = fl.WeightedAverage(vecs, ws)
+
+			// Split criterion on this cluster's updates.
+			meanDelta := meanOf(deltas, members)
+			meanNorm := fl.L2Norm(meanDelta)
+			maxNorm := 0.0
+			for _, i := range members {
+				if v := fl.L2Norm(deltas[i]); v > maxNorm {
+					maxNorm = v
+				}
+			}
+			if round == 0 && maxNorm > refNorm {
+				refNorm = maxNorm
+			}
+			if round < c.WarmupRounds || len(members) < 2*c.MinClusterSize || refNorm == 0 || maxNorm == 0 {
+				continue
+			}
+			if meanNorm/maxNorm < c.Eps1 && maxNorm > c.Eps2*refNorm {
+				// Bi-partition members by cosine similarity of updates.
+				sim := cosineSimilarity(deltas, members)
+				split := cluster.SpectralBipartition(sim)
+				sizeA, sizeB := 0, 0
+				for _, s := range split {
+					if s == 0 {
+						sizeA++
+					} else {
+						sizeB++
+					}
+				}
+				if sizeA < c.MinClusterSize || sizeB < c.MinClusterSize {
+					continue
+				}
+				newID := maxID(assign) + 1
+				for j, i := range members {
+					if split[j] == 1 {
+						assign[i] = newID
+					}
+				}
+				models[newID] = append([]float64(nil), models[id]...)
+				lastChange = round + 1
+			}
+		}
+		res.Comm.EndRound(round + 1)
+
+		if env.ShouldEval(round) {
+			served := make(map[int]*nn.Sequential)
+			for id, vec := range models {
+				m := env.NewModel()
+				nn.LoadParams(m, vec)
+				served[id] = m
+			}
+			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[assign[i]] })
+			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
+		}
+	}
+	res.Clusters = canonicalLabels(assign)
+	res.ClusterFormationRound = lastChange
+	res.ClusterFormationUpBytes = clusterFormationUp(&res.Comm, lastChange)
+	return res
+}
+
+// clusterIDs returns the distinct ids present, ascending.
+func clusterIDs(assign []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, id := range assign {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	// insertion sort (few clusters)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func membersOf(assign []int, id int) []int {
+	var out []int
+	for i, a := range assign {
+		if a == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func maxID(assign []int) int {
+	m := 0
+	for _, a := range assign {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func meanOf(vecs [][]float64, members []int) []float64 {
+	out := make([]float64, len(vecs[members[0]]))
+	for _, i := range members {
+		for j, v := range vecs[i] {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(len(members))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// cosineSimilarity builds the members×members cosine similarity matrix of
+// their update vectors.
+func cosineSimilarity(deltas [][]float64, members []int) *tensor.Tensor {
+	m := len(members)
+	sim := tensor.New(m, m)
+	for a := 0; a < m; a++ {
+		sim.Set(1, a, a)
+		for b := a + 1; b < m; b++ {
+			// cosine similarity = 1 - cosine distance
+			d := linalg.VecDistance(linalg.Cosine, deltas[members[a]], deltas[members[b]])
+			sim.Set(1-d, a, b)
+			sim.Set(1-d, b, a)
+		}
+	}
+	return sim
+}
+
+// canonicalLabels renumbers arbitrary ids to 0..k-1 by first appearance.
+func canonicalLabels(assign []int) []int {
+	out := make([]int, len(assign))
+	next := 0
+	seen := map[int]int{}
+	for i, a := range assign {
+		l, ok := seen[a]
+		if !ok {
+			l = next
+			seen[a] = l
+			next++
+		}
+		out[i] = l
+	}
+	return out
+}

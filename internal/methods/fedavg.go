@@ -1,0 +1,84 @@
+// Package methods implements the baseline federated-learning algorithms
+// the paper compares FedClust against: FedAvg (McMahan et al. 2017),
+// FedProx (Li et al. 2020), CFL (Sattler et al. 2020), IFCA (Ghosh et al.
+// 2020), and PACFL (Vahidian et al. 2022). All of them run on the shared
+// fl.Env substrate so comparisons are apples to apples.
+package methods
+
+import (
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// FedAvg is the classic single-global-model algorithm: every round all
+// clients train locally from the global weights and the server takes the
+// sample-weighted average.
+type FedAvg struct{}
+
+// Name implements fl.Trainer.
+func (FedAvg) Name() string { return "FedAvg" }
+
+// Run implements fl.Trainer. It honors the environment's Participation
+// settings: each round a (possibly partial) client set is invited, some
+// invited clients may fail to report, and the server averages whoever
+// reported (McMahan et al.'s original protocol).
+func (FedAvg) Run(env *fl.Env) *fl.Result {
+	env.Validate()
+	res := &fl.Result{Method: "FedAvg", ClusterFormationRound: -1}
+	global := nn.FlattenParams(env.NewModel())
+	nParams := len(global)
+	n := len(env.Clients)
+	weights := env.TrainSizes()
+	locals := make([][]float64, n)
+
+	for round := 0; round < env.Rounds; round++ {
+		invited, reported := env.SampleRound(round)
+		res.Comm.Download(len(invited), nParams)
+		env.ParallelClients(len(invited), func(j int) {
+			i := invited[j]
+			model := env.NewModel()
+			nn.LoadParams(model, global)
+			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
+			locals[i] = nn.FlattenParams(model)
+		})
+		res.Comm.Upload(len(reported), nParams)
+		vecs := make([][]float64, len(reported))
+		ws := make([]float64, len(reported))
+		for j, i := range reported {
+			vecs[j], ws[j] = locals[i], weights[i]
+		}
+		global = fl.WeightedAverage(vecs, ws)
+		res.Comm.EndRound(round + 1)
+
+		if env.ShouldEval(round) {
+			model := env.NewModel()
+			nn.LoadParams(model, global)
+			per, acc, loss := env.EvaluatePersonalized(func(int) *nn.Sequential { return model })
+			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
+		}
+	}
+	return res
+}
+
+// FedProx is FedAvg with a proximal term μ/2·‖w − w_global‖² added to each
+// client's local objective, stabilizing training under heterogeneity.
+type FedProx struct {
+	// Mu is the proximal coefficient (the paper's baseline; typical
+	// values 0.01–1).
+	Mu float64
+}
+
+// Name implements fl.Trainer.
+func (p FedProx) Name() string { return "FedProx" }
+
+// Run implements fl.Trainer.
+func (p FedProx) Run(env *fl.Env) *fl.Result {
+	// FedProx is FedAvg with the proximal term switched on in the local
+	// config; reuse the FedAvg loop with an adjusted environment.
+	proxEnv := *env
+	proxEnv.Local.ProxMu = p.Mu
+	res := FedAvg{}.Run(&proxEnv)
+	res.Method = "FedProx"
+	return res
+}

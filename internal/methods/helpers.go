@@ -1,0 +1,12 @@
+package methods
+
+import (
+	"fedclust/internal/fl"
+	"fedclust/internal/rng"
+)
+
+// envRng derives a deterministic method-local stream from the
+// environment's seed and the given labels.
+func envRng(env *fl.Env, labels ...uint64) *rng.Rng {
+	return rng.New(env.Seed).Derive(labels...)
+}

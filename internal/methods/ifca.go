@@ -1,0 +1,126 @@
+package methods
+
+import (
+	"math"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// IFCA (Iterative Federated Clustering Algorithm, Ghosh et al. 2020)
+// maintains K cluster models. Every round the server broadcasts all K
+// models; each client picks the one with the lowest loss on its local
+// training data, trains it, and the server aggregates per cluster.
+//
+// IFCA's limitations — the ones FedClust targets — surface directly here:
+// K must be chosen in advance, and the downlink carries K full models per
+// client per round.
+type IFCA struct {
+	// K is the predefined number of clusters.
+	K int
+}
+
+// Name implements fl.Trainer.
+func (f IFCA) Name() string { return "IFCA" }
+
+// Run implements fl.Trainer.
+func (f IFCA) Run(env *fl.Env) *fl.Result {
+	env.Validate()
+	if f.K < 1 {
+		panic("methods: IFCA requires K >= 1")
+	}
+	res := &fl.Result{Method: "IFCA"}
+	n := len(env.Clients)
+	// Initialize the K cluster models: model 0 from the canonical shared
+	// initialization (so K=1 degenerates exactly to FedAvg) and the rest
+	// from distinct random draws, per standard IFCA practice.
+	models := make([][]float64, f.K)
+	models[0] = nn.FlattenParams(env.NewModel())
+	for k := 1; k < f.K; k++ {
+		m := env.Factory(envRng(env, 0x1fca, uint64(k)))
+		models[k] = nn.FlattenParams(m)
+	}
+	nParams := len(models[0])
+	choice := make([]int, n)
+	locals := make([][]float64, n)
+	losses := make([]float64, n)
+	prevChoice := make([]int, n)
+	for i := range prevChoice {
+		prevChoice[i] = -1
+	}
+	lastChange := 0
+
+	for round := 0; round < env.Rounds; round++ {
+		// Broadcast all K models to every client.
+		res.Comm.Download(n, f.K*nParams)
+		env.ParallelClients(n, func(i int) {
+			c := env.Clients[i]
+			model := env.NewModel()
+			// Pick the cluster with lowest local training loss.
+			best, bestLoss := 0, math.Inf(1)
+			for k := 0; k < f.K; k++ {
+				nn.LoadParams(model, models[k])
+				l, _ := fl.Evaluate(model, c.Train, 64)
+				if l < bestLoss {
+					best, bestLoss = k, l
+				}
+			}
+			choice[i] = best
+			nn.LoadParams(model, models[best])
+			losses[i] = fl.LocalUpdate(model, c.Train, env.Local, env.ClientRng(i, round))
+			locals[i] = nn.FlattenParams(model)
+		})
+		res.Comm.Upload(n, nParams)
+		// Track when the clustering last changed (cluster-formation cost).
+		for i := range choice {
+			if choice[i] != prevChoice[i] {
+				lastChange = round + 1
+				break
+			}
+		}
+		copy(prevChoice, choice)
+		// Aggregate per cluster (clusters with no members keep their model).
+		weights := env.TrainSizes()
+		for k := 0; k < f.K; k++ {
+			var vecs [][]float64
+			var ws []float64
+			for i := 0; i < n; i++ {
+				if choice[i] == k {
+					vecs = append(vecs, locals[i])
+					ws = append(ws, weights[i])
+				}
+			}
+			if len(vecs) > 0 {
+				models[k] = fl.WeightedAverage(vecs, ws)
+			}
+		}
+		res.Comm.EndRound(round + 1)
+
+		if env.ShouldEval(round) {
+			served := make([]*nn.Sequential, f.K)
+			for k := range served {
+				served[k] = env.NewModel()
+				nn.LoadParams(served[k], models[k])
+			}
+			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[choice[i]] })
+			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
+		}
+	}
+	res.Clusters = append([]int(nil), choice...)
+	res.ClusterFormationRound = lastChange
+	res.ClusterFormationUpBytes = clusterFormationUp(&res.Comm, lastChange)
+	return res
+}
+
+// clusterFormationUp sums uplink bytes over the first `rounds` rounds.
+func clusterFormationUp(c *fl.CommStats, rounds int) int64 {
+	var up int64
+	for _, r := range c.PerRound {
+		if r.Round > rounds {
+			break
+		}
+		up += r.UpBytes
+	}
+	return up
+}

@@ -1,0 +1,287 @@
+package methods
+
+import (
+	"testing"
+
+	"fedclust/internal/cluster"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+// groupEnv builds a 2-group scenario: groupsA clients hold classes {0,1},
+// groupsB clients hold classes {2,3}, on small synthetic images. Cluster
+// methods should discover the two groups; the returned truth is the
+// ground-truth group per client.
+func groupEnv(t testing.TB, clientsPerGroup, rounds int, seed uint64) (*fl.Env, []int) {
+	t.Helper()
+	cfg := data.SynthConfig{
+		Name: "test4", C: 1, H: 8, W: 8, Classes: 4,
+		TrainPerClass: 60, TestPerClass: 24,
+		ClassSep: 0.85, Noise: 1.0, SharedBG: 0.3, Smooth: 1, Seed: seed,
+	}
+	train, test := data.Generate(cfg)
+	r := rng.New(seed)
+	clients, truth := fl.BuildGroupClients(train, test,
+		[][]int{{0, 1}, {2, 3}}, []int{clientsPerGroup, clientsPerGroup}, r)
+	env := &fl.Env{
+		Clients: clients,
+		Factory: func(fr *rng.Rng) *nn.Sequential { return nn.MLP(fr, 64, 24, 4) },
+		Rounds:  rounds,
+		Local:   fl.LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1},
+		Seed:    seed,
+	}
+	return env, truth
+}
+
+// dirichletEnv builds a Dir(0.1) scenario over 4 classes.
+func dirichletEnv(t testing.TB, nClients, rounds int, seed uint64) *fl.Env {
+	t.Helper()
+	cfg := data.SynthConfig{
+		Name: "testdir", C: 1, H: 8, W: 8, Classes: 4,
+		TrainPerClass: 60, TestPerClass: 24,
+		ClassSep: 0.85, Noise: 1.0, SharedBG: 0.3, Smooth: 1, Seed: seed,
+	}
+	train, test := data.Generate(cfg)
+	clients := fl.BuildDirichletClients(train, test, nClients, 0.1, rng.New(seed))
+	return &fl.Env{
+		Clients: clients,
+		Factory: func(fr *rng.Rng) *nn.Sequential { return nn.MLP(fr, 64, 24, 4) },
+		Rounds:  rounds,
+		Local:   fl.LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1},
+		Seed:    seed,
+	}
+}
+
+func checkBasicResult(t *testing.T, res *fl.Result, env *fl.Env) {
+	t.Helper()
+	if res.FinalAcc < 0 || res.FinalAcc > 1 {
+		t.Fatalf("%s accuracy %v out of range", res.Method, res.FinalAcc)
+	}
+	if len(res.PerClientAcc) != len(env.Clients) {
+		t.Fatalf("%s per-client accuracies %d, want %d", res.Method, len(res.PerClientAcc), len(env.Clients))
+	}
+	if len(res.History) == 0 {
+		t.Fatalf("%s recorded no history", res.Method)
+	}
+	last := res.History[len(res.History)-1]
+	if last.Round != env.Rounds || last.MeanAcc != res.FinalAcc {
+		t.Fatalf("%s final history entry inconsistent: %+v vs %v", res.Method, last, res.FinalAcc)
+	}
+	if res.Comm.UpBytes <= 0 || res.Comm.DownBytes <= 0 {
+		t.Fatalf("%s comm not accounted: %+v", res.Method, res.Comm)
+	}
+}
+
+func TestFedAvgRunsAndLearns(t *testing.T) {
+	env, _ := groupEnv(t, 3, 4, 1)
+	res := FedAvg{}.Run(env)
+	checkBasicResult(t, res, env)
+	if res.Clusters != nil || res.ClusterFormationRound != -1 {
+		t.Fatal("FedAvg must not report clusters")
+	}
+	// Better than chance (0.25 over 4 classes; personalized sets have 2).
+	if res.FinalAcc < 0.4 {
+		t.Fatalf("FedAvg accuracy %v too low", res.FinalAcc)
+	}
+}
+
+func TestFedAvgCommAccounting(t *testing.T) {
+	env, _ := groupEnv(t, 2, 3, 2)
+	res := FedAvg{}.Run(env)
+	nParams := env.NewModel().NumParams()
+	n := int64(len(env.Clients))
+	wantUp := int64(env.Rounds) * n * int64(nParams) * fl.BytesPerParam
+	if res.Comm.UpBytes != wantUp || res.Comm.DownBytes != wantUp {
+		t.Fatalf("comm = %+v, want up=down=%d", res.Comm, wantUp)
+	}
+	if len(res.Comm.PerRound) != env.Rounds {
+		t.Fatalf("per-round entries = %d", len(res.Comm.PerRound))
+	}
+}
+
+func TestFedAvgDeterministic(t *testing.T) {
+	env1, _ := groupEnv(t, 2, 2, 3)
+	env2, _ := groupEnv(t, 2, 2, 3)
+	r1 := FedAvg{}.Run(env1)
+	r2 := FedAvg{}.Run(env2)
+	if r1.FinalAcc != r2.FinalAcc {
+		t.Fatalf("FedAvg not deterministic: %v vs %v", r1.FinalAcc, r2.FinalAcc)
+	}
+}
+
+func TestFedProxRuns(t *testing.T) {
+	env, _ := groupEnv(t, 2, 3, 4)
+	res := FedProx{Mu: 0.1}.Run(env)
+	checkBasicResult(t, res, env)
+	if res.Method != "FedProx" {
+		t.Fatalf("method name = %q", res.Method)
+	}
+	// The caller's env must not be mutated by the prox wrapper.
+	if env.Local.ProxMu != 0 {
+		t.Fatal("FedProx mutated the shared env")
+	}
+}
+
+func TestIFCARecoverGroups(t *testing.T) {
+	env, truth := groupEnv(t, 3, 5, 5)
+	res := IFCA{K: 2}.Run(env)
+	checkBasicResult(t, res, env)
+	if res.Clusters == nil {
+		t.Fatal("IFCA must report clusters")
+	}
+	if ari := cluster.ARI(res.Clusters, truth); ari < 0.9 {
+		t.Fatalf("IFCA cluster ARI = %v (clusters %v)", ari, res.Clusters)
+	}
+}
+
+func TestIFCADownlinkCarriesKModels(t *testing.T) {
+	env, _ := groupEnv(t, 2, 2, 6)
+	res := IFCA{K: 3}.Run(env)
+	nParams := env.NewModel().NumParams()
+	n := int64(len(env.Clients))
+	wantDown := int64(env.Rounds) * n * 3 * int64(nParams) * fl.BytesPerParam
+	if res.Comm.DownBytes != wantDown {
+		t.Fatalf("IFCA downlink = %d, want %d (K models per round)", res.Comm.DownBytes, wantDown)
+	}
+}
+
+func TestIFCAK1DegeneratesToFedAvg(t *testing.T) {
+	env1, _ := groupEnv(t, 2, 3, 7)
+	env2, _ := groupEnv(t, 2, 3, 7)
+	avg := FedAvg{}.Run(env1)
+	one := IFCA{K: 1}.Run(env2)
+	if diff := avg.FinalAcc - one.FinalAcc; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("IFCA K=1 accuracy %v != FedAvg %v", one.FinalAcc, avg.FinalAcc)
+	}
+}
+
+func TestCFLRunsAndReportsValidResult(t *testing.T) {
+	env, _ := groupEnv(t, 3, 6, 8)
+	res := CFL{}.Run(env)
+	checkBasicResult(t, res, env)
+	if res.Clusters == nil || len(res.Clusters) != len(env.Clients) {
+		t.Fatal("CFL must report a cluster per client")
+	}
+	k := cluster.NumClusters(res.Clusters)
+	if k < 1 || k > len(env.Clients) {
+		t.Fatalf("CFL clusters = %d", k)
+	}
+}
+
+// conflictEnv builds the classic CFL splitting scenario: both groups see
+// the same input distribution but with permuted labels, so one global
+// model cannot fit both and updates anti-correlate.
+func conflictEnv(t testing.TB, clientsPerGroup, rounds int, seed uint64) (*fl.Env, []int) {
+	t.Helper()
+	cfg := data.SynthConfig{
+		Name: "conflict", C: 1, H: 8, W: 8, Classes: 2,
+		TrainPerClass: 80, TestPerClass: 30,
+		ClassSep: 1.8, Noise: 0.6, SharedBG: 0.2, Smooth: 1, Seed: seed,
+	}
+	train, test := data.Generate(cfg)
+	r := rng.New(seed)
+	n := 2 * clientsPerGroup
+	assignTrain := make([][]int, n)
+	perm := r.Perm(train.Len())
+	for i, row := range perm {
+		assignTrain[i%n] = append(assignTrain[i%n], row)
+	}
+	truth := make([]int, n)
+	clients := make([]*fl.Client, n)
+	permTest := r.Perm(test.Len())
+	for i := 0; i < n; i++ {
+		tr := train.Subset(assignTrain[i])
+		var teIdx []int
+		for j, row := range permTest {
+			if j%n == i {
+				teIdx = append(teIdx, row)
+			}
+		}
+		te := test.Subset(teIdx)
+		if i >= clientsPerGroup { // group B: flip labels
+			truth[i] = 1
+			for k := range tr.Y {
+				tr.Y[k] = 1 - tr.Y[k]
+			}
+			for k := range te.Y {
+				te.Y[k] = 1 - te.Y[k]
+			}
+		}
+		clients[i] = &fl.Client{ID: i, Train: tr, Test: te}
+	}
+	env := &fl.Env{
+		Clients: clients,
+		Factory: func(fr *rng.Rng) *nn.Sequential { return nn.MLP(fr, 64, 16, 2) },
+		Rounds:  rounds,
+		Local:   fl.LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1},
+		Seed:    seed,
+	}
+	return env, truth
+}
+
+func TestCFLSplitsConflictingClients(t *testing.T) {
+	env, truth := conflictEnv(t, 3, 12, 9)
+	res := CFL{WarmupRounds: 2}.Run(env)
+	if k := cluster.NumClusters(res.Clusters); k < 2 {
+		t.Fatalf("CFL never split conflicting clients (k=%d)", k)
+	}
+	if ari := cluster.ARI(res.Clusters, truth); ari < 0.9 {
+		t.Fatalf("CFL split ARI = %v (clusters %v)", ari, res.Clusters)
+	}
+	if res.ClusterFormationRound < 1 {
+		t.Fatalf("CFL cluster formation round = %d, want >=1 (multi-round formation)", res.ClusterFormationRound)
+	}
+	// After splitting, each side should fit its own labels well.
+	if res.FinalAcc < 0.8 {
+		t.Fatalf("CFL post-split accuracy = %v", res.FinalAcc)
+	}
+}
+
+func TestPACFLRecoverGroupsFromSubspaces(t *testing.T) {
+	env, truth := groupEnv(t, 3, 4, 10)
+	p := PACFL{P: 3}
+	res := p.Run(env)
+	checkBasicResult(t, res, env)
+	if ari := cluster.ARI(res.Clusters, truth); ari < 0.9 {
+		t.Fatalf("PACFL cluster ARI = %v (clusters %v)", ari, res.Clusters)
+	}
+	if res.ClusterFormationRound != 0 {
+		t.Fatal("PACFL clustering should be one-shot (round 0)")
+	}
+}
+
+func TestPACFLFixedK(t *testing.T) {
+	env, _ := groupEnv(t, 2, 2, 11)
+	res := PACFL{P: 2, NumClusters: 3}.Run(env)
+	if k := cluster.NumClusters(res.Clusters); k != 3 {
+		t.Fatalf("PACFL fixed K=3 gave %d clusters", k)
+	}
+}
+
+func TestPACFLSketchUplinkSmall(t *testing.T) {
+	env, _ := groupEnv(t, 2, 1, 12)
+	res := PACFL{P: 3}.Run(env)
+	nParams := env.NewModel().NumParams()
+	n := len(env.Clients)
+	// Round-0 sketch upload must be far below one full model per client.
+	sketchBytes := res.ClusterFormationUpBytes
+	fullBytes := int64(n) * int64(nParams) * fl.BytesPerParam
+	if sketchBytes >= fullBytes {
+		t.Fatalf("PACFL sketch upload %d not below full model upload %d", sketchBytes, fullBytes)
+	}
+}
+
+func TestClusteredBeatGlobalOnGroupedData(t *testing.T) {
+	// The paper's central comparison in miniature: on two-group data,
+	// IFCA/PACFL (served cluster models) must beat FedAvg (one global
+	// model) in personalized accuracy.
+	envA, _ := groupEnv(t, 3, 5, 13)
+	envB, _ := groupEnv(t, 3, 5, 13)
+	avg := FedAvg{}.Run(envA)
+	ifca := IFCA{K: 2}.Run(envB)
+	if ifca.FinalAcc <= avg.FinalAcc {
+		t.Fatalf("IFCA (%v) should beat FedAvg (%v) on grouped data", ifca.FinalAcc, avg.FinalAcc)
+	}
+}

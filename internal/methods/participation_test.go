@@ -1,0 +1,48 @@
+package methods
+
+import (
+	"testing"
+
+	"fedclust/internal/fl"
+)
+
+func TestFedAvgPartialParticipationComm(t *testing.T) {
+	env, _ := groupEnv(t, 5, 4, 21) // 10 clients
+	env.Participation = fl.Participation{Fraction: 0.5}
+	res := FedAvg{}.Run(env)
+	nParams := env.NewModel().NumParams()
+	wantUp := int64(env.Rounds) * 5 * int64(nParams) * fl.BytesPerParam
+	if res.Comm.UpBytes != wantUp {
+		t.Fatalf("partial participation uplink = %d, want %d", res.Comm.UpBytes, wantUp)
+	}
+	if res.FinalAcc < 0.4 {
+		t.Fatalf("partial participation accuracy %v", res.FinalAcc)
+	}
+}
+
+func TestFedAvgSurvivesDropouts(t *testing.T) {
+	env, _ := groupEnv(t, 3, 5, 22)
+	env.Participation = fl.Participation{DropRate: 0.5}
+	res := FedAvg{}.Run(env)
+	if res.FinalAcc < 0.4 {
+		t.Fatalf("accuracy under 50%% dropout = %v", res.FinalAcc)
+	}
+	// Uplink must be strictly below the no-failure volume.
+	full := int64(env.Rounds) * int64(len(env.Clients)) *
+		int64(env.NewModel().NumParams()) * fl.BytesPerParam
+	if res.Comm.UpBytes >= full {
+		t.Fatalf("uplink %d not reduced by drops (full %d)", res.Comm.UpBytes, full)
+	}
+	if res.Comm.DownBytes != full {
+		t.Fatalf("downlink %d should still cover all invited clients (%d)", res.Comm.DownBytes, full)
+	}
+}
+
+func TestFedAvgExtremeDropoutStillProgresses(t *testing.T) {
+	env, _ := groupEnv(t, 3, 6, 23)
+	env.Participation = fl.Participation{DropRate: 0.89}
+	res := FedAvg{}.Run(env)
+	if res.FinalAcc <= 0.25 {
+		t.Fatalf("accuracy under extreme dropout = %v (chance ≈ 0.25 on 4 classes)", res.FinalAcc)
+	}
+}

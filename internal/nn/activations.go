@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied elementwise.
+type ReLU struct {
+	dim  int
+	mask []bool
+}
+
+// NewReLU builds a ReLU over dim features.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return fmt.Sprintf("relu(%d)", r.dim) }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim() int { return r.dim }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(r.Name(), x, r.dim)
+	out := tensor.New(x.Shape...)
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called before Forward")
+	}
+	gx := tensor.New(gradOut.Shape...)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			gx.Data[i] = v
+		}
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Tanh is the hyperbolic tangent activation (LeNet-5's classic
+// nonlinearity), applied elementwise.
+type Tanh struct {
+	dim int
+	y   *tensor.Tensor
+}
+
+// NewTanh builds a Tanh over dim features.
+func NewTanh(dim int) *Tanh { return &Tanh{dim: dim} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return fmt.Sprintf("tanh(%d)", t.dim) }
+
+// OutDim implements Layer.
+func (t *Tanh) OutDim() int { return t.dim }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(t.Name(), x, t.dim)
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out
+}
+
+// Backward implements Layer: d tanh = 1 - tanh².
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if t.y == nil {
+		panic("nn: Tanh.Backward called before Forward")
+	}
+	gx := tensor.New(gradOut.Shape...)
+	for i, v := range gradOut.Data {
+		y := t.y.Data[i]
+		gx.Data[i] = v * (1 - y*y)
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Dropout zeroes activations with probability P during training and
+// rescales the survivors by 1/(1-P) (inverted dropout); it is the identity
+// at evaluation time.
+type Dropout struct {
+	dim  int
+	P    float64
+	rng  *rng.Rng
+	mask []bool
+}
+
+// NewDropout builds a Dropout layer with drop probability p in [0, 1).
+func NewDropout(dim int, p float64, r *rng.Rng) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{dim: dim, P: p, rng: r}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.P) }
+
+// OutDim implements Layer.
+func (d *Dropout) OutDim() int { return d.dim }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(d.Name(), x, d.dim)
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	d.mask = make([]bool, len(x.Data))
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut // eval-mode identity
+	}
+	gx := tensor.New(gradOut.Shape...)
+	scale := 1 / (1 - d.P)
+	for i, v := range gradOut.Data {
+		if d.mask[i] {
+			gx.Data[i] = v * scale
+		}
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over flattened CHW inputs, implemented as a
+// batched im2col + one large parallel matrix multiply.
+type Conv2D struct {
+	Geom   tensor.ConvGeom
+	OutC   int
+	W      *tensor.Tensor // (OutC, InC*KH*KW)
+	B      *tensor.Tensor // (OutC)
+	gw, gb *tensor.Tensor
+	cols   *tensor.Tensor // cached (batch*outHW, rowLen) unrolled input
+	batch  int
+}
+
+// NewConv2D constructs a convolution with He initialization.
+func NewConv2D(g tensor.ConvGeom, outC int, r *rng.Rng) *Conv2D {
+	g.Validate()
+	if outC <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D outC must be positive, got %d", outC))
+	}
+	rowLen := g.InC * g.KH * g.KW
+	c := &Conv2D{
+		Geom: g, OutC: outC,
+		W:  tensor.New(outC, rowLen),
+		B:  tensor.New(outC),
+		gw: tensor.New(outC, rowLen),
+		gb: tensor.New(outC),
+	}
+	HeInit(c.W, rowLen, r)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d→%d)", c.Geom.KH, c.Geom.KW, c.Geom.InC, c.OutC)
+}
+
+// InDim returns the expected flattened input width.
+func (c *Conv2D) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+
+// OutDim implements Layer: OutC × OutH × OutW.
+func (c *Conv2D) OutDim() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
+
+// Forward implements Layer. The output feature axis is channel-major CHW.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(c.Name(), x, c.InDim())
+	batch := x.Shape[0]
+	c.batch = batch
+	outHW := c.Geom.OutH() * c.Geom.OutW()
+	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	// Unroll the whole batch into one tall matrix so a single parallel
+	// matmul does all the arithmetic.
+	cols := tensor.New(batch*outHW, rowLen)
+	for b := 0; b < batch; b++ {
+		sub := tensor.FromSlice(cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], outHW, rowLen)
+		tensor.Im2Col(x.Row(b), c.Geom, sub)
+	}
+	c.cols = cols
+	// (batch*outHW, rowLen) · (rowLen, OutC) → (batch*outHW, OutC)
+	y := tensor.MatMul(cols, tensor.Transpose(c.W))
+	// Reorder to channel-major (batch, OutC*outHW) and add bias.
+	out := tensor.New(batch, c.OutC*outHW)
+	for b := 0; b < batch; b++ {
+		dst := out.Row(b)
+		for p := 0; p < outHW; p++ {
+			src := y.Row(b*outHW + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				dst[ch*outHW+p] = src[ch] + c.B.Data[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward called before Forward")
+	}
+	checkBatchInput(c.Name()+" backward", gradOut, c.OutDim())
+	batch := c.batch
+	outHW := c.Geom.OutH() * c.Geom.OutW()
+	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	// De-interleave gradOut back to pixel-major (batch*outHW, OutC).
+	gy := tensor.New(batch*outHW, c.OutC)
+	for b := 0; b < batch; b++ {
+		src := gradOut.Row(b)
+		for p := 0; p < outHW; p++ {
+			dst := gy.Row(b*outHW + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				dst[ch] = src[ch*outHW+p]
+			}
+		}
+	}
+	// gW += gyᵀ·cols (OutC, rowLen); gB += column sums of gy.
+	gw := tensor.MatMul(tensor.Transpose(gy), c.cols)
+	c.gw.AddScaled(gw, 1)
+	for i := 0; i < gy.Shape[0]; i++ {
+		row := gy.Row(i)
+		for ch, v := range row {
+			c.gb.Data[ch] += v
+		}
+	}
+	// gcols = gy·W (batch*outHW, rowLen); scatter back with col2im.
+	gcols := tensor.MatMul(gy, c.W)
+	gx := tensor.New(batch, c.InDim())
+	for b := 0; b < batch; b++ {
+		sub := tensor.FromSlice(gcols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], outHW, rowLen)
+		tensor.Col2Im(sub, c.Geom, gx.Row(b))
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
+
+// MaxPool2 is a 2×2, stride-2 max pooling layer over CHW volumes.
+type MaxPool2 struct {
+	C, H, W int
+	argmax  []int // flat input index of each output element's max
+	batch   int
+}
+
+// NewMaxPool2 builds the layer for the given input volume. H and W must be
+// even (the models in this repo arrange that).
+func NewMaxPool2(c, h, w int) *MaxPool2 {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2 invalid volume %dx%dx%d", c, h, w))
+	}
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2 requires even H and W, got %dx%d", h, w))
+	}
+	return &MaxPool2{C: c, H: h, W: w}
+}
+
+// Name implements Layer.
+func (p *MaxPool2) Name() string { return fmt.Sprintf("maxpool2(%dx%dx%d)", p.C, p.H, p.W) }
+
+// InDim returns the flattened input width.
+func (p *MaxPool2) InDim() int { return p.C * p.H * p.W }
+
+// OutDim implements Layer.
+func (p *MaxPool2) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(p.Name(), x, p.InDim())
+	batch := x.Shape[0]
+	p.batch = batch
+	oh, ow := p.H/2, p.W/2
+	out := tensor.New(batch, p.OutDim())
+	p.argmax = make([]int, batch*p.OutDim())
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					i01 := i00 + 1
+					i10 := i00 + p.W
+					i11 := i10 + 1
+					bi, bv := i00, in[i00]
+					if in[i01] > bv {
+						bi, bv = i01, in[i01]
+					}
+					if in[i10] > bv {
+						bi, bv = i10, in[i10]
+					}
+					if in[i11] > bv {
+						bi, bv = i11, in[i11]
+					}
+					oi := outBase + oy*ow + ox
+					dst[oi] = bv
+					p.argmax[b*p.OutDim()+oi] = bi
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: routes each gradient to its argmax position.
+func (p *MaxPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2.Backward called before Forward")
+	}
+	checkBatchInput(p.Name()+" backward", gradOut, p.OutDim())
+	gx := tensor.New(p.batch, p.InDim())
+	for b := 0; b < p.batch; b++ {
+		src := gradOut.Row(b)
+		dst := gx.Row(b)
+		for oi, v := range src {
+			dst[p.argmax[b*p.OutDim()+oi]] += v
+		}
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (p *MaxPool2) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (p *MaxPool2) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b.
+type Dense struct {
+	In, Out int
+	W       *tensor.Tensor // (Out, In)
+	B       *tensor.Tensor // (Out)
+	gw, gb  *tensor.Tensor
+	x       *tensor.Tensor // cached input for backward
+}
+
+// NewDense constructs a Dense layer with He initialization.
+func NewDense(in, out int, r *rng.Rng) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense dims must be positive, got %d→%d", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out,
+		W:  tensor.New(out, in),
+		B:  tensor.New(out),
+		gw: tensor.New(out, in),
+		gb: tensor.New(out),
+	}
+	HeInit(d.W, in, r)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out) }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.Out }
+
+// Forward implements Layer: y = x·Wᵀ + b over the batch.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(d.Name(), x, d.In)
+	d.x = x
+	wt := tensor.Transpose(d.W)
+	y := tensor.MatMul(x, wt)
+	batch := x.Shape[0]
+	for i := 0; i < batch; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += d.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: Dense.Backward called before Forward")
+	}
+	checkBatchInput(d.Name()+" backward", gradOut, d.Out)
+	// gW += gyᵀ·x ; gb += column sums of gy ; gx = gy·W
+	gw := tensor.MatMul(tensor.Transpose(gradOut), d.x)
+	d.gw.AddScaled(gw, 1)
+	batch := gradOut.Shape[0]
+	for i := 0; i < batch; i++ {
+		row := gradOut.Row(i)
+		for j, v := range row {
+			d.gb.Data[j] += v
+		}
+	}
+	return tensor.MatMul(gradOut, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gw, d.gb} }

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dTheta for every parameter of net by
+// central finite differences, where the loss is softmax CE on (x, labels).
+func numericalGrad(net *Sequential, x *tensor.Tensor, labels []int, eps float64) []float64 {
+	var ce SoftmaxCE
+	lossAt := func() float64 {
+		loss, _, _ := ce.Loss(net.Forward(x, false), labels)
+		return loss
+	}
+	var grads []float64
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			lp := lossAt()
+			p.Data[i] = orig - eps
+			lm := lossAt()
+			p.Data[i] = orig
+			grads = append(grads, (lp-lm)/(2*eps))
+		}
+	}
+	return grads
+}
+
+// analyticGrad runs one forward/backward pass and returns the flat
+// parameter gradient.
+func analyticGrad(net *Sequential, x *tensor.Tensor, labels []int) []float64 {
+	var ce SoftmaxCE
+	net.ZeroGrads()
+	logits := net.Forward(x, true)
+	_, grad, _ := ce.Loss(logits, labels)
+	net.Backward(grad)
+	return FlattenGrads(net)
+}
+
+// checkGradients compares analytic vs numerical gradients with a relative
+// tolerance.
+func checkGradients(t *testing.T, net *Sequential, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	ana := analyticGrad(net, x, labels)
+	num := numericalGrad(net, x, labels, 1e-5)
+	if len(ana) != len(num) {
+		t.Fatalf("gradient length mismatch: %d vs %d", len(ana), len(num))
+	}
+	for i := range ana {
+		diff := math.Abs(ana[i] - num[i])
+		scale := math.Max(1e-4, math.Abs(ana[i])+math.Abs(num[i]))
+		if diff/scale > 1e-4 {
+			t.Fatalf("gradient %d mismatch: analytic %v numerical %v", i, ana[i], num[i])
+		}
+	}
+}
+
+func randInput(r *rng.Rng, batch, dim int) *tensor.Tensor {
+	x := tensor.New(batch, dim)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func TestGradCheckDense(t *testing.T) {
+	r := rng.New(1)
+	net := NewSequential(NewDense(7, 4, r))
+	checkGradients(t, net, randInput(r, 5, 7), []int{0, 1, 2, 3, 0})
+}
+
+func TestGradCheckMLPReLU(t *testing.T) {
+	r := rng.New(2)
+	net := MLP(r, 6, 8, 3)
+	checkGradients(t, net, randInput(r, 4, 6), []int{0, 1, 2, 1})
+}
+
+func TestGradCheckTanh(t *testing.T) {
+	r := rng.New(3)
+	net := NewSequential(NewDense(5, 6, r), NewTanh(6), NewDense(6, 3, r))
+	checkGradients(t, net, randInput(r, 3, 5), []int{2, 0, 1})
+}
+
+func TestGradCheckConv(t *testing.T) {
+	r := rng.New(4)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 3, r)
+	net := NewSequential(conv, NewReLU(conv.OutDim()),
+		NewDense(conv.OutDim(), 3, r))
+	checkGradients(t, net, randInput(r, 2, 2*6*6), []int{0, 2})
+}
+
+func TestGradCheckConvStride2NoPad(t *testing.T) {
+	r := rng.New(5)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 0}
+	conv := NewConv2D(g, 2, r)
+	net := NewSequential(conv, NewDense(conv.OutDim(), 2, r))
+	checkGradients(t, net, randInput(r, 2, 64), []int{0, 1})
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	r := rng.New(6)
+	pool := NewMaxPool2(2, 4, 4)
+	net := NewSequential(pool, NewDense(pool.OutDim(), 3, r))
+	checkGradients(t, net, randInput(r, 3, 32), []int{0, 1, 2})
+}
+
+func TestGradCheckConvPoolStack(t *testing.T) {
+	r := rng.New(7)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 2, r)
+	pool := NewMaxPool2(2, 8, 8)
+	net := NewSequential(
+		conv, NewReLU(conv.OutDim()), pool,
+		NewDense(pool.OutDim(), 4, r),
+	)
+	checkGradients(t, net, randInput(r, 2, 64), []int{3, 1})
+}
+
+func TestGradCheckLeNetTiny(t *testing.T) {
+	// A narrow LeNet-5 on a 12x12 single-channel input exercises the full
+	// Table-I architecture end to end.
+	r := rng.New(8)
+	net := LeNet5(r, 1, 12, 12, 3, 0.25)
+	checkGradients(t, net, randInput(r, 2, 144), []int{0, 2})
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	r := rng.New(9)
+	pool := NewAvgPool2(2, 4, 4)
+	net := NewSequential(pool, NewDense(pool.OutDim(), 3, r))
+	checkGradients(t, net, randInput(r, 3, 32), []int{0, 1, 2})
+}
+
+func TestGradCheckSigmoid(t *testing.T) {
+	r := rng.New(10)
+	net := NewSequential(NewDense(5, 6, r), NewSigmoid(6), NewDense(6, 3, r))
+	checkGradients(t, net, randInput(r, 3, 5), []int{2, 0, 1})
+}
+
+func TestGradCheckClassicLeNetStack(t *testing.T) {
+	// The 1989-style stack: conv → tanh → average pool.
+	r := rng.New(11)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 2, r)
+	pool := NewAvgPool2(2, 8, 8)
+	net := NewSequential(conv, NewTanh(conv.OutDim()), pool, NewDense(pool.OutDim(), 3, r))
+	checkGradients(t, net, randInput(r, 2, 64), []int{1, 2})
+}

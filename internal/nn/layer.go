@@ -1,0 +1,120 @@
+// Package nn implements the neural-network substrate of the reproduction:
+// a layer interface with hand-written backward passes, a Sequential
+// container with parameter flattening (the representation federated
+// aggregation works on), and the model zoo the paper evaluates (LeNet-5 for
+// Table I, a VGG-16-shaped probe network for Fig. 1).
+//
+// All activations flow as rank-2 (batch, features) tensors; convolutional
+// layers interpret the feature axis as flattened CHW volumes via an
+// explicit geometry, so no rank-4 tensors are needed.
+package nn
+
+import (
+	"fmt"
+
+	"fedclust/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Name identifies the layer kind and shape, e.g. "conv5x5(3→6)".
+	Name() string
+	// Forward computes the layer output for a (batch, inDim) input.
+	// train enables training-time behaviour (e.g. dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients internally. It must be called
+	// after Forward with the matching activation still cached.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameter tensors (possibly empty).
+	// Callers may mutate the contents (that is how aggregation loads
+	// weights) but not replace the tensors.
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params.
+	Grads() []*tensor.Tensor
+	// OutDim returns the width of the layer's output features.
+	OutDim() int
+}
+
+// Sequential chains layers and exposes whole-network parameter access.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers in reverse.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every parameter tensor in layer order.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns every gradient tensor in layer order, aligned with Params.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range s.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// String lists the layer names.
+func (s *Sequential) String() string {
+	out := "Sequential["
+	for i, l := range s.Layers {
+		if i > 0 {
+			out += " → "
+		}
+		out += l.Name()
+	}
+	return out + "]"
+}
+
+// checkBatchInput panics unless x is rank-2 with the expected feature
+// width; layers use it to give actionable shape errors.
+func checkBatchInput(name string, x *tensor.Tensor, inDim int) {
+	if len(x.Shape) != 2 {
+		panic(fmt.Sprintf("nn: %s expects (batch, features) input, got %v", name, x.Shape))
+	}
+	if x.Shape[1] != inDim {
+		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", name, inDim, x.Shape[1]))
+	}
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/tensor"
+)
+
+// SoftmaxCE couples the softmax activation with cross-entropy loss, the
+// standard classification head. It is not a Layer: it terminates the
+// network and produces both the scalar loss and the gradient that seeds
+// backprop.
+type SoftmaxCE struct{}
+
+// Loss computes mean cross-entropy over the batch given raw logits
+// (batch, classes) and integer labels, returning the loss, the gradient
+// with respect to the logits (already divided by batch size), and the
+// softmax probabilities.
+func (SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad, probs *tensor.Tensor) {
+	if len(logits.Shape) != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCE expects (batch, classes) logits, got %v", logits.Shape))
+	}
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: SoftmaxCE got %d labels for batch of %d", len(labels), batch))
+	}
+	probs = tensor.New(batch, classes)
+	grad = tensor.New(batch, classes)
+	invB := 1 / float64(batch)
+	for b := 0; b < batch; b++ {
+		row := logits.Row(b)
+		p := probs.Row(b)
+		// stable softmax
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			p[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range p {
+			p[j] *= inv
+		}
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		// loss contribution: -log p[y], clamped away from log(0)
+		py := p[y]
+		if py < 1e-300 {
+			py = 1e-300
+		}
+		loss -= math.Log(py)
+		g := grad.Row(b)
+		for j := range g {
+			g[j] = p[j] * invB
+		}
+		g[y] -= invB
+	}
+	return loss * invB, grad, probs
+}
+
+// Accuracy returns the fraction of rows whose argmax logit matches the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: Accuracy shape mismatch %v vs %d labels", logits.Shape, len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for b := range labels {
+		row := logits.Row(b)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

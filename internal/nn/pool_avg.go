@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/tensor"
+)
+
+// AvgPool2 is a 2×2, stride-2 average pooling layer over CHW volumes —
+// the subsampling LeCun's original LeNet-5 used (modern variants use max
+// pooling; both are provided).
+type AvgPool2 struct {
+	C, H, W int
+	batch   int
+}
+
+// NewAvgPool2 builds the layer for the given input volume (even H, W).
+func NewAvgPool2(c, h, w int) *AvgPool2 {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool2 invalid volume %dx%dx%d", c, h, w))
+	}
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: AvgPool2 requires even H and W, got %dx%d", h, w))
+	}
+	return &AvgPool2{C: c, H: h, W: w}
+}
+
+// Name implements Layer.
+func (p *AvgPool2) Name() string { return fmt.Sprintf("avgpool2(%dx%dx%d)", p.C, p.H, p.W) }
+
+// InDim returns the flattened input width.
+func (p *AvgPool2) InDim() int { return p.C * p.H * p.W }
+
+// OutDim implements Layer.
+func (p *AvgPool2) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
+
+// Forward implements Layer.
+func (p *AvgPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(p.Name(), x, p.InDim())
+	batch := x.Shape[0]
+	p.batch = batch
+	oh, ow := p.H/2, p.W/2
+	out := tensor.New(batch, p.OutDim())
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					dst[outBase+oy*ow+ox] = 0.25 * (in[i00] + in[i00+1] + in[i00+p.W] + in[i00+p.W+1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: spreads each gradient equally over its 2×2
+// window.
+func (p *AvgPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.batch == 0 {
+		panic("nn: AvgPool2.Backward called before Forward")
+	}
+	checkBatchInput(p.Name()+" backward", gradOut, p.OutDim())
+	oh, ow := p.H/2, p.W/2
+	gx := tensor.New(p.batch, p.InDim())
+	for b := 0; b < p.batch; b++ {
+		src := gradOut.Row(b)
+		dst := gx.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := 0.25 * src[outBase+oy*ow+ox]
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					dst[i00] += g
+					dst[i00+1] += g
+					dst[i00+p.W] += g
+					dst[i00+p.W+1] += g
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (p *AvgPool2) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (p *AvgPool2) Grads() []*tensor.Tensor { return nil }
+
+// Sigmoid is the logistic activation, applied elementwise.
+type Sigmoid struct {
+	dim int
+	y   *tensor.Tensor
+}
+
+// NewSigmoid builds a Sigmoid over dim features.
+func NewSigmoid(dim int) *Sigmoid { return &Sigmoid{dim: dim} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return fmt.Sprintf("sigmoid(%d)", s.dim) }
+
+// OutDim implements Layer.
+func (s *Sigmoid) OutDim() int { return s.dim }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatchInput(s.Name(), x, s.dim)
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.y = out
+	return out
+}
+
+// Backward implements Layer: dσ = σ(1-σ).
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if s.y == nil {
+		panic("nn: Sigmoid.Backward called before Forward")
+	}
+	gx := tensor.New(gradOut.Shape...)
+	for i, v := range gradOut.Data {
+		y := s.y.Data[i]
+		gx.Data[i] = v * y * (1 - y)
+	}
+	return gx
+}
+
+// Params implements Layer (none).
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }

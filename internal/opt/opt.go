@@ -1,0 +1,130 @@
+// Package opt implements the optimizers used by the federated trainers:
+// SGD with momentum and weight decay, the FedProx proximal term, and
+// simple learning-rate schedules.
+package opt
+
+import (
+	"fmt"
+
+	"fedclust/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// L2 weight decay. The zero value is unusable; construct with NewSGD.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    []*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer. lr must be positive; momentum and
+// weightDecay must be non-negative (momentum < 1).
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("opt: learning rate must be positive, got %v", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("opt: momentum %v out of [0,1)", momentum))
+	}
+	if weightDecay < 0 {
+		panic(fmt.Sprintf("opt: weight decay must be non-negative, got %v", weightDecay))
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies one update to params given aligned grads:
+//
+//	v ← μ·v + (g + λ·w);  w ← w - η·v
+//
+// On first use it lazily allocates velocity buffers matching the params.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))
+	}
+	if s.Momentum > 0 && s.velocity == nil {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Shape...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		if !p.SameShape(g) {
+			panic(fmt.Sprintf("opt: param %d shape %v != grad shape %v", i, p.Shape, g.Shape))
+		}
+		if s.Momentum > 0 {
+			v := s.velocity[i]
+			for j := range p.Data {
+				eff := g.Data[j] + s.WeightDecay*p.Data[j]
+				v.Data[j] = s.Momentum*v.Data[j] + eff
+				p.Data[j] -= s.LR * v.Data[j]
+			}
+		} else {
+			for j := range p.Data {
+				eff := g.Data[j] + s.WeightDecay*p.Data[j]
+				p.Data[j] -= s.LR * eff
+			}
+		}
+	}
+}
+
+// Reset clears momentum state (used when a client restarts local training
+// from freshly loaded global weights).
+func (s *SGD) Reset() { s.velocity = nil }
+
+// AddProximal adds the FedProx proximal gradient μ·(w - w_ref) to grads,
+// where ref is the flat global parameter vector the round started from.
+// Layout must match the concatenation order of params.
+func AddProximal(params, grads []*tensor.Tensor, ref []float64, mu float64) {
+	if mu < 0 {
+		panic(fmt.Sprintf("opt: proximal mu must be non-negative, got %v", mu))
+	}
+	if mu == 0 {
+		return
+	}
+	off := 0
+	for i, p := range params {
+		g := grads[i]
+		if off+p.Size() > len(ref) {
+			panic(fmt.Sprintf("opt: proximal ref too short: need %d, have %d", off+p.Size(), len(ref)))
+		}
+		for j := range p.Data {
+			g.Data[j] += mu * (p.Data[j] - ref[off+j])
+		}
+		off += p.Size()
+	}
+	if off != len(ref) {
+		panic(fmt.Sprintf("opt: proximal ref length %d, params total %d", len(ref), off))
+	}
+}
+
+// Schedule maps a round number to a learning rate.
+type Schedule interface {
+	LR(round int) float64
+}
+
+// ConstSchedule always returns the same rate.
+type ConstSchedule float64
+
+// LR implements Schedule.
+func (c ConstSchedule) LR(round int) float64 { return float64(c) }
+
+// DecaySchedule multiplies the base rate by Factor every Every rounds.
+type DecaySchedule struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR implements Schedule.
+func (d DecaySchedule) LR(round int) float64 {
+	if d.Every <= 0 {
+		return d.Base
+	}
+	lr := d.Base
+	for i := d.Every; i <= round; i += d.Every {
+		lr *= d.Factor
+	}
+	return lr
+}

@@ -1,0 +1,161 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/tensor"
+)
+
+func single(v float64) []*tensor.Tensor {
+	t := tensor.New(1)
+	t.Data[0] = v
+	return []*tensor.Tensor{t}
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	p, g := single(1.0), single(2.0)
+	s.Step(p, g)
+	if got := p[0].Data[0]; math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("param after step = %v, want 0.8", got)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	s := NewSGD(0.1, 0, 0.5)
+	p, g := single(2.0), single(0.0)
+	s.Step(p, g)
+	// effective grad = 0 + 0.5*2 = 1; p = 2 - 0.1 = 1.9
+	if got := p[0].Data[0]; math.Abs(got-1.9) > 1e-12 {
+		t.Fatalf("param after decay step = %v, want 1.9", got)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	s := NewSGD(1, 0.9, 0)
+	p, g := single(0.0), single(1.0)
+	s.Step(p, g) // v=1, p=-1
+	s.Step(p, g) // v=1.9, p=-2.9
+	if got := p[0].Data[0]; math.Abs(got-(-2.9)) > 1e-12 {
+		t.Fatalf("param after two momentum steps = %v, want -2.9", got)
+	}
+	s.Reset()
+	s.Step(p, g) // v starts over: v=1, p=-3.9
+	if got := p[0].Data[0]; math.Abs(got-(-3.9)) > 1e-12 {
+		t.Fatalf("param after reset = %v, want -3.9", got)
+	}
+}
+
+func TestSGDQuadraticConvergence(t *testing.T) {
+	// Minimize f(w) = (w-3)²; gradient 2(w-3).
+	s := NewSGD(0.1, 0.5, 0)
+	p := single(0.0)
+	g := single(0.0)
+	for i := 0; i < 200; i++ {
+		g[0].Data[0] = 2 * (p[0].Data[0] - 3)
+		s.Step(p, g)
+	}
+	if got := p[0].Data[0]; math.Abs(got-3) > 1e-6 {
+		t.Fatalf("converged to %v, want 3", got)
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSGD(0, 0, 0) },
+		func() { NewSGD(0.1, -0.1, 0) },
+		func() { NewSGD(0.1, 1.0, 0) },
+		func() { NewSGD(0.1, 0, -1) },
+	} {
+		func(f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid SGD config did not panic")
+				}
+			}()
+			f()
+		}(f)
+	}
+}
+
+func TestSGDMismatchedShapesPanic(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched param/grad did not panic")
+		}
+	}()
+	s.Step([]*tensor.Tensor{tensor.New(2)}, []*tensor.Tensor{tensor.New(3)})
+}
+
+func TestAddProximal(t *testing.T) {
+	p := []*tensor.Tensor{tensor.FromSlice([]float64{1, 2}, 2), tensor.FromSlice([]float64{5}, 1)}
+	g := []*tensor.Tensor{tensor.New(2), tensor.New(1)}
+	ref := []float64{0, 0, 3}
+	AddProximal(p, g, ref, 0.5)
+	// g = mu*(w - ref): [0.5, 1.0] and [1.0]
+	if g[0].Data[0] != 0.5 || g[0].Data[1] != 1.0 || g[1].Data[0] != 1.0 {
+		t.Fatalf("proximal grads = %v %v", g[0].Data, g[1].Data)
+	}
+}
+
+func TestAddProximalMuZeroNoop(t *testing.T) {
+	p := []*tensor.Tensor{tensor.FromSlice([]float64{1}, 1)}
+	g := []*tensor.Tensor{tensor.New(1)}
+	AddProximal(p, g, []float64{0}, 0)
+	if g[0].Data[0] != 0 {
+		t.Fatal("mu=0 should be a no-op")
+	}
+}
+
+func TestAddProximalLengthPanics(t *testing.T) {
+	p := []*tensor.Tensor{tensor.New(2)}
+	g := []*tensor.Tensor{tensor.New(2)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short ref did not panic")
+		}
+	}()
+	AddProximal(p, g, []float64{0}, 0.1)
+}
+
+func TestAddProximalPullsTowardRef(t *testing.T) {
+	// Proximal term alone should pull w toward ref under SGD.
+	s := NewSGD(0.1, 0, 0)
+	p := []*tensor.Tensor{tensor.FromSlice([]float64{10}, 1)}
+	g := []*tensor.Tensor{tensor.New(1)}
+	ref := []float64{2}
+	for i := 0; i < 500; i++ {
+		g[0].Zero()
+		AddProximal(p, g, ref, 1.0)
+		s.Step(p, g)
+	}
+	if got := p[0].Data[0]; math.Abs(got-2) > 1e-6 {
+		t.Fatalf("proximal pull converged to %v, want 2", got)
+	}
+}
+
+func TestConstSchedule(t *testing.T) {
+	s := ConstSchedule(0.05)
+	if s.LR(0) != 0.05 || s.LR(100) != 0.05 {
+		t.Fatal("ConstSchedule should be constant")
+	}
+}
+
+func TestDecaySchedule(t *testing.T) {
+	d := DecaySchedule{Base: 1, Factor: 0.5, Every: 10}
+	if d.LR(0) != 1 || d.LR(9) != 1 {
+		t.Fatal("no decay before first boundary")
+	}
+	if d.LR(10) != 0.5 || d.LR(19) != 0.5 {
+		t.Fatalf("decay at boundary wrong: %v", d.LR(10))
+	}
+	if d.LR(20) != 0.25 {
+		t.Fatalf("second decay wrong: %v", d.LR(20))
+	}
+	zero := DecaySchedule{Base: 2, Factor: 0.5, Every: 0}
+	if zero.LR(50) != 2 {
+		t.Fatal("Every=0 should disable decay")
+	}
+}

@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/stats"
+)
+
+// ClientLabelHistograms returns per-client class counts for an assignment.
+func ClientLabelHistograms(a Assignment, labels []int, classes int) [][]int {
+	out := make([][]int, len(a))
+	for c, idx := range a {
+		h := make([]int, classes)
+		for _, i := range idx {
+			h[labels[i]]++
+		}
+		out[c] = h
+	}
+	return out
+}
+
+// ClientLabelDistributions returns per-client class proportions.
+func ClientLabelDistributions(a Assignment, labels []int, classes int) [][]float64 {
+	hists := ClientLabelHistograms(a, labels, classes)
+	out := make([][]float64, len(hists))
+	for c, h := range hists {
+		p := make([]float64, classes)
+		total := 0
+		for _, v := range h {
+			total += v
+		}
+		if total > 0 {
+			for k, v := range h {
+				p[k] = float64(v) / float64(total)
+			}
+		}
+		out[c] = p
+	}
+	return out
+}
+
+// AvgLabelEntropy returns the mean Shannon entropy (nats) of client label
+// distributions — high under IID, low under severe label skew.
+func AvgLabelEntropy(a Assignment, labels []int, classes int) float64 {
+	dists := ClientLabelDistributions(a, labels, classes)
+	var sum float64
+	for _, p := range dists {
+		sum += stats.Entropy(p)
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	return sum / float64(len(dists))
+}
+
+// SkewEMD returns the mean earth-mover-style L1 distance between each
+// client's label distribution and the global one — 0 under perfect IID.
+func SkewEMD(a Assignment, labels []int, classes int) float64 {
+	global := make([]float64, classes)
+	for _, y := range labels {
+		global[y]++
+	}
+	stats.Normalize(global)
+	dists := ClientLabelDistributions(a, labels, classes)
+	var sum float64
+	for _, p := range dists {
+		var d float64
+		for k := range p {
+			d += math.Abs(p[k] - global[k])
+		}
+		sum += d
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	return sum / float64(len(dists))
+}
+
+// SizeSummary formats min/median/max client sizes for logging.
+func SizeSummary(a Assignment) string {
+	if len(a) == 0 {
+		return "no clients"
+	}
+	sizes := make([]float64, len(a))
+	for i, idx := range a {
+		sizes[i] = float64(len(idx))
+	}
+	return fmt.Sprintf("sizes min=%d med=%.0f max=%d",
+		int(stats.Min(sizes)), stats.Median(sizes), int(stats.Max(sizes)))
+}

@@ -1,0 +1,288 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedclust/internal/rng"
+)
+
+// balancedLabels returns n labels cycling through the given class count.
+func balancedLabels(n, classes int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % classes
+	}
+	return out
+}
+
+func TestDirichletIsAPartition(t *testing.T) {
+	labels := balancedLabels(500, 10)
+	a := Dirichlet(labels, 10, 0.1, 5, rng.New(1))
+	a.Validate(len(labels))
+	if a.NumClients() != 10 {
+		t.Fatalf("clients = %d", a.NumClients())
+	}
+	for c, idx := range a {
+		if len(idx) < 5 {
+			t.Fatalf("client %d has %d < 5 examples", c, len(idx))
+		}
+	}
+}
+
+func TestDirichletPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 200 + r.Intn(300)
+		clients := 2 + r.Intn(10)
+		labels := balancedLabels(n, 1+r.Intn(10))
+		a := Dirichlet(labels, clients, 0.1, 1, r)
+		defer func() { recover() }()
+		a.Validate(n)
+		return a.TotalExamples() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletSkewDecreasesWithAlpha(t *testing.T) {
+	labels := balancedLabels(2000, 10)
+	skewLow := SkewEMD(Dirichlet(labels, 10, 0.05, 1, rng.New(2)), labels, 10)
+	skewHigh := SkewEMD(Dirichlet(labels, 10, 100, 1, rng.New(2)), labels, 10)
+	if skewLow <= skewHigh {
+		t.Fatalf("skew(α=0.05)=%v should exceed skew(α=100)=%v", skewLow, skewHigh)
+	}
+	if skewHigh > 0.3 {
+		t.Fatalf("large-α partition too skewed: %v", skewHigh)
+	}
+	if skewLow < 0.8 {
+		t.Fatalf("small-α partition not skewed enough: %v", skewLow)
+	}
+}
+
+func TestDirichletEntropyMatchesSkewDirection(t *testing.T) {
+	labels := balancedLabels(2000, 10)
+	hLow := AvgLabelEntropy(Dirichlet(labels, 10, 0.05, 1, rng.New(3)), labels, 10)
+	hHigh := AvgLabelEntropy(Dirichlet(labels, 10, 100, 1, rng.New(3)), labels, 10)
+	if hLow >= hHigh {
+		t.Fatalf("entropy under α=0.05 (%v) should be below α=100 (%v)", hLow, hHigh)
+	}
+	if math.Abs(hHigh-math.Log(10)) > 0.2 {
+		t.Fatalf("IID-ish entropy = %v, want ≈ ln10", hHigh)
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	labels := balancedLabels(20, 2)
+	for _, f := range []func(){
+		func() { Dirichlet(labels, 0, 0.1, 1, rng.New(1)) },
+		func() { Dirichlet(labels, 2, 0, 1, rng.New(1)) },
+		func() { Dirichlet(labels, 10, 0.1, 5, rng.New(1)) }, // 50 > 20
+	} {
+		func(f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid Dirichlet config did not panic")
+				}
+			}()
+			f()
+		}(f)
+	}
+}
+
+func TestDirichletDeterministic(t *testing.T) {
+	labels := balancedLabels(300, 10)
+	a := Dirichlet(labels, 5, 0.1, 1, rng.New(9))
+	b := Dirichlet(labels, 5, 0.1, 1, rng.New(9))
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			t.Fatal("same seed gave different partition sizes")
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatal("same seed gave different partitions")
+			}
+		}
+	}
+}
+
+func TestLabelGroups(t *testing.T) {
+	labels := balancedLabels(1000, 10)
+	groups := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	a := LabelGroups(labels, groups, []int{5, 5}, rng.New(4))
+	a.Validate(len(labels))
+	if a.NumClients() != 10 {
+		t.Fatalf("clients = %d", a.NumClients())
+	}
+	// Clients 0-4 must hold only classes 0-4, clients 5-9 only 5-9.
+	hists := ClientLabelHistograms(a, labels, 10)
+	for c := 0; c < 5; c++ {
+		for k := 5; k < 10; k++ {
+			if hists[c][k] != 0 {
+				t.Fatalf("client %d (group 0) holds class %d", c, k)
+			}
+		}
+	}
+	for c := 5; c < 10; c++ {
+		for k := 0; k < 5; k++ {
+			if hists[c][k] != 0 {
+				t.Fatalf("client %d (group 1) holds class %d", c, k)
+			}
+		}
+	}
+	truth := GroupTruth([]int{5, 5})
+	if len(truth) != 10 || truth[0] != 0 || truth[9] != 1 {
+		t.Fatalf("GroupTruth = %v", truth)
+	}
+}
+
+func TestLabelGroupsDuplicateClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate class did not panic")
+		}
+	}()
+	LabelGroups(balancedLabels(10, 3), [][]int{{0, 1}, {1, 2}}, []int{1, 1}, rng.New(1))
+}
+
+func TestLabelGroupsUnownedClassDropped(t *testing.T) {
+	labels := balancedLabels(30, 3)
+	a := LabelGroups(labels, [][]int{{0}, {1}}, []int{1, 1}, rng.New(5))
+	// Class 2's 10 examples are dropped.
+	if a.TotalExamples() != 20 {
+		t.Fatalf("total = %d, want 20", a.TotalExamples())
+	}
+}
+
+func TestShards(t *testing.T) {
+	labels := balancedLabels(200, 10)
+	a := Shards(labels, 10, 2, rng.New(6))
+	a.Validate(len(labels))
+	// Each client should hold at most ~2-3 distinct classes (2 shards of
+	// a label-sorted array touch at most 4 class boundaries, typically 2).
+	hists := ClientLabelHistograms(a, labels, 10)
+	for c, h := range hists {
+		distinct := 0
+		for _, v := range h {
+			if v > 0 {
+				distinct++
+			}
+		}
+		if distinct > 4 {
+			t.Fatalf("client %d holds %d distinct classes, shards too diffuse", c, distinct)
+		}
+	}
+}
+
+func TestIID(t *testing.T) {
+	a := IID(103, 10, rng.New(7))
+	a.Validate(103)
+	for _, idx := range a {
+		if len(idx) < 10 || len(idx) > 11 {
+			t.Fatalf("IID sizes unbalanced: %d", len(idx))
+		}
+	}
+	labels := balancedLabels(1000, 10)
+	iid := IID(1000, 10, rng.New(8))
+	if skew := SkewEMD(iid, labels, 10); skew > 0.3 {
+		t.Fatalf("IID skew = %v, want small", skew)
+	}
+}
+
+func TestProportionsToCounts(t *testing.T) {
+	c := proportionsToCounts([]float64{0.5, 0.3, 0.2}, 10)
+	if c[0]+c[1]+c[2] != 10 {
+		t.Fatalf("counts sum = %v", c)
+	}
+	if c[0] != 5 || c[1] != 3 || c[2] != 2 {
+		t.Fatalf("counts = %v", c)
+	}
+	// Rounding case
+	c2 := proportionsToCounts([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 10)
+	sum := 0
+	for _, v := range c2 {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("rounded counts sum = %d", sum)
+	}
+}
+
+func TestSizeSummary(t *testing.T) {
+	a := Assignment{{1, 2, 3}, {4}, {5, 6}}
+	if got := SizeSummary(a); got != "sizes min=1 med=2 max=3" {
+		t.Fatalf("SizeSummary = %q", got)
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	a := Assignment{{0, 1}, {1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate index did not panic")
+		}
+	}()
+	a.Validate(3)
+}
+
+func TestValidateCatchesMissing(t *testing.T) {
+	a := Assignment{{0}, {2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing index did not panic")
+		}
+	}()
+	a.Validate(3)
+}
+
+func TestQuantitySkewIsAPartition(t *testing.T) {
+	a := QuantitySkew(500, 10, 1.0, 5, rng.New(44))
+	a.Validate(500)
+	for c, idx := range a {
+		if len(idx) < 5 {
+			t.Fatalf("client %d has %d < 5 examples", c, len(idx))
+		}
+	}
+	// Sizes must be monotone non-increasing-ish (power law): first client
+	// largest.
+	if len(a[0]) <= len(a[9]) {
+		t.Fatalf("power-law skew not visible: first=%d last=%d", len(a[0]), len(a[9]))
+	}
+}
+
+func TestQuantitySkewBetaZeroBalanced(t *testing.T) {
+	a := QuantitySkew(100, 10, 0, 1, rng.New(45))
+	a.Validate(100)
+	for _, idx := range a {
+		if len(idx) != 10 {
+			t.Fatalf("beta=0 should balance, got %d", len(idx))
+		}
+	}
+}
+
+func TestQuantitySkewLabelsStayIID(t *testing.T) {
+	labels := balancedLabels(2000, 10)
+	a := QuantitySkew(2000, 8, 1.2, 20, rng.New(46))
+	if skew := SkewEMD(a, labels, 10); skew > 0.4 {
+		t.Fatalf("quantity skew should leave labels near-IID, EMD=%v", skew)
+	}
+}
+
+func TestQuantitySkewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { QuantitySkew(10, 0, 1, 1, rng.New(1)) },
+		func() { QuantitySkew(10, 2, -1, 1, rng.New(1)) },
+		func() { QuantitySkew(10, 5, 1, 3, rng.New(1)) },
+	} {
+		func(f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid QuantitySkew did not panic")
+				}
+			}()
+			f()
+		}(f)
+	}
+}

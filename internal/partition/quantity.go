@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/rng"
+)
+
+// QuantitySkew assigns examples to clients with IID labels but power-law
+// sized shares (Li et al. ICDE'22's "quantity skew" setting): client c
+// receives a share proportional to (c+1)^(-beta) of a random shuffle.
+// beta = 0 gives equal sizes; larger beta concentrates data on few
+// clients. Every client receives at least minPerClient examples.
+func QuantitySkew(n, numClients int, beta float64, minPerClient int, r *rng.Rng) Assignment {
+	if numClients < 1 {
+		panic(fmt.Sprintf("partition: numClients must be positive, got %d", numClients))
+	}
+	if beta < 0 {
+		panic(fmt.Sprintf("partition: beta must be non-negative, got %v", beta))
+	}
+	if minPerClient*numClients > n {
+		panic(fmt.Sprintf("partition: cannot guarantee %d examples for %d clients with %d total",
+			minPerClient, numClients, n))
+	}
+	props := make([]float64, numClients)
+	var sum float64
+	for c := range props {
+		props[c] = math.Pow(float64(c+1), -beta)
+		sum += props[c]
+	}
+	for c := range props {
+		props[c] /= sum
+	}
+	counts := proportionsToCounts(props, n)
+	order := r.Perm(n)
+	out := make(Assignment, numClients)
+	lo := 0
+	for c, cnt := range counts {
+		out[c] = append(out[c], order[lo:lo+cnt]...)
+		lo += cnt
+	}
+	rebalanceMin(out, minPerClient, r)
+	return out
+}

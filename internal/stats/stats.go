@@ -1,0 +1,209 @@
+// Package stats provides small statistical helpers used by the experiment
+// harness: running moments, summaries over repeated trials, and mean±std
+// formatting matching the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 when n < 2).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// String renders the accumulator as "mean ± std" with two decimals,
+// the format the paper's Table I uses.
+func (r *Running) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", r.Mean(), r.Std())
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the unbiased standard deviation of xs (0 when len < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (average of middle two for even length).
+// It panics on empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or
+// out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile q out of [0,1]")
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if len(c) == 1 {
+		return c[0]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := pos - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// MeanStd formats xs as "mean ± std" with two decimals.
+func MeanStd(xs []float64) string {
+	return fmt.Sprintf("%.2f ± %.2f", Mean(xs), Std(xs))
+}
+
+// ArgMax returns the index of the maximum element (first on ties).
+// It panics on empty input.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element (first on ties).
+// It panics on empty input.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero-probability entries contribute zero. Negative entries panic.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v < 0 {
+			panic("stats: Entropy of negative probability")
+		}
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// Normalize scales xs in place so it sums to 1. If the sum is zero the
+// vector is left unchanged and false is returned.
+func Normalize(xs []float64) bool {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		return false
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+	return true
+}

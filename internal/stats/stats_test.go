@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if !almostEq(r.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("running mean %v != batch mean %v", r.Mean(), Mean(xs))
+	}
+	if !almostEq(r.Std(), Std(xs), 1e-12) {
+		t.Fatalf("running std %v != batch std %v", r.Std(), Std(xs))
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", r.N(), len(xs))
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Std() != 0 {
+		t.Fatal("empty Running should report zero moments")
+	}
+	r.Add(5)
+	if r.Mean() != 5 || r.Var() != 0 {
+		t.Fatal("single observation: mean should be the value, variance 0")
+	}
+}
+
+func TestRunningPropertyMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		return almostEq(r.Mean(), Mean(xs), 1e-6*(1+math.Abs(Mean(xs)))) &&
+			almostEq(r.Std(), Std(xs), 1e-6*(1+Std(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	// Unbiased std of this classic set is sqrt(32/7).
+	if s := Std(xs); !almostEq(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Std = %v, want %v", s, math.Sqrt(32.0/7.0))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should give zero moments")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatal("Min/Max wrong")
+	}
+	if m := Median(xs); !almostEq(m, 4, 1e-12) { // sorted: 1 2 3 5 8 9 → (3+5)/2
+		t.Fatalf("Median = %v, want 4", m)
+	}
+	if m := Median([]float64{7}); m != 7 {
+		t.Fatalf("Median single = %v, want 7", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 10 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); !almostEq(q, 5, 1e-12) {
+		t.Fatalf("q0.5 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); !almostEq(q, 2.5, 1e-12) {
+		t.Fatalf("q0.25 = %v", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{3, 9, 1, 9, 0}
+	if ArgMax(xs) != 1 {
+		t.Fatal("ArgMax should return first maximal index")
+	}
+	if ArgMin(xs) != 4 {
+		t.Fatal("ArgMin wrong")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Fatalf("one-hot entropy = %v, want 0", h)
+	}
+	u := []float64{0.25, 0.25, 0.25, 0.25}
+	if h := Entropy(u); !almostEq(h, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy = %v, want ln4", h)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 2, 4}
+	if !Normalize(xs) {
+		t.Fatal("Normalize returned false on valid input")
+	}
+	if !almostEq(xs[0], 0.25, 1e-12) || !almostEq(xs[2], 0.5, 1e-12) {
+		t.Fatalf("Normalize result %v", xs)
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) {
+		t.Fatal("Normalize of zero vector should return false")
+	}
+}
+
+func TestMeanStdFormat(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(3)
+	if got := r.String(); got != "2.00 ± 1.41" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := MeanStd([]float64{1, 3}); got != "2.00 ± 1.41" {
+		t.Fatalf("MeanStd = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds in a matmul
+// before the work is split across goroutines. Small products stay on the
+// calling goroutine to avoid scheduling overhead.
+const parallelThreshold = 64 * 1024
+
+// MatMul returns a(m×k) · b(k×n) as a new m×n tensor, parallelizing over
+// row blocks when the product is large enough.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Shape[0], b.Shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a · b for rank-2 tensors. dst must not alias
+// a or b and must have shape (a.rows, b.cols).
+func MatMulInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(dst.Shape) != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.Shape, b.Shape))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	work := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m < 2 {
+		matmulRows(dst, a, b, 0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of dst = a·b using an ikj loop order
+// that streams b rows sequentially (cache-friendly without explicit tiling).
+func matmulRows(dst, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		outRow := dst.Data[i*n : (i+1)*n]
+		for x := range outRow {
+			outRow[x] = 0
+		}
+		aRow := a.Data[i*k : (i+1)*k]
+		for p, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[p*n : (p+1)*n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j*m+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec returns a(m×k) · x(k) as a new length-m vector tensor.
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(x.Shape) != 1 {
+		panic("tensor: MatVec requires a rank-2 matrix and rank-1 vector")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if x.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v · %v", a.Shape, x.Shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var s float64
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// OuterInto accumulates dst += x ⊗ y for vectors x (m) and y (n) into the
+// m×n matrix dst.
+func OuterInto(dst, x, y *Tensor) {
+	if len(dst.Shape) != 2 || len(x.Shape) != 1 || len(y.Shape) != 1 {
+		panic("tensor: OuterInto requires matrix dst and vector x, y")
+	}
+	m, n := dst.Shape[0], dst.Shape[1]
+	if x.Shape[0] != m || y.Shape[0] != n {
+		panic(fmt.Sprintf("tensor: OuterInto shape mismatch dst %v, x %v, y %v", dst.Shape, x.Shape, y.Shape))
+	}
+	for i := 0; i < m; i++ {
+		xv := x.Data[i]
+		if xv == 0 {
+			continue
+		}
+		row := dst.Data[i*n : (i+1)*n]
+		for j, yv := range y.Data {
+			row[j] += xv * yv
+		}
+	}
+}

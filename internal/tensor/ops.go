@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkSameShape panics unless a and b have identical shapes.
+func checkSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// AddInto sets dst = a + b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Tensor) {
+	checkSameShape("Add", a, b)
+	checkSameShape("Add", a, dst)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Add returns a + b as a new tensor.
+func Add(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	AddInto(out, a, b)
+	return out
+}
+
+// SubInto sets dst = a - b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Tensor) {
+	checkSameShape("Sub", a, b)
+	checkSameShape("Sub", a, dst)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Sub returns a - b as a new tensor.
+func Sub(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	SubInto(out, a, b)
+	return out
+}
+
+// MulInto sets dst = a * b elementwise (Hadamard product).
+func MulInto(dst, a, b *Tensor) {
+	checkSameShape("Mul", a, b)
+	checkSameShape("Mul", a, dst)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Mul returns the elementwise product of a and b.
+func Mul(a, b *Tensor) *Tensor {
+	out := New(a.Shape...)
+	MulInto(out, a, b)
+	return out
+}
+
+// Scale multiplies every element of t by s in place.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaled adds s*o to t in place (axpy).
+func (t *Tensor) AddScaled(o *Tensor, s float64) {
+	checkSameShape("AddScaled", t, o)
+	for i := range t.Data {
+		t.Data[i] += s * o.Data[i]
+	}
+}
+
+// Apply replaces every element x with f(x) in place.
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, x := range t.Data {
+		t.Data[i] = f(x)
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, x := range t.Data {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	var s float64
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (Frobenius) norm of t.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, x := range t.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, x := range t.Data {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether a and b have the same shape and elementwise
+// absolute difference at most tol.
+func Equal(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

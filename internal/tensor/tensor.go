@@ -1,0 +1,136 @@
+// Package tensor implements dense row-major float64 tensors and the
+// numerical kernels (parallel matrix multiply, im2col) that the neural
+// network stack is built on.
+//
+// The package is deliberately small: shapes are explicit, storage is a flat
+// []float64, and there is no autograd — layers in internal/nn implement
+// their own backward passes against these kernels.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense row-major float64 array of arbitrary rank.
+type Tensor struct {
+	// Shape holds the extent of each dimension; it must not be mutated
+	// after construction (Reshape returns a new header instead).
+	Shape []int
+	// Data is the flat backing storage of length prod(Shape).
+	Data []float64
+}
+
+// prod returns the product of dims, and panics on negative extents.
+func prod(dims []int) int {
+	p := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, dims))
+		}
+		p *= d
+	}
+	return p
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, prod(shape))}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it panics if len(data) != prod(shape).
+func FromSlice(data []float64, shape ...int) *Tensor {
+	if len(data) != prod(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a new tensor header sharing t's storage with a new shape.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if prod(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// index converts multi-dimensional indices to a flat offset, with bounds
+// checks on every axis.
+func (t *Tensor) index(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (extent %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.index(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.index(idx)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Row returns a view (shared storage) of row i of a rank-2 tensor.
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row requires a rank-2 tensor")
+	}
+	cols := t.Shape[1]
+	return t.Data[i*cols : (i+1)*cols]
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.Data) > 64 {
+		return fmt.Sprintf("Tensor%v[%d elems]", t.Shape, len(t.Data))
+	}
+	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+}

@@ -1,0 +1,185 @@
+// Package wire defines the on-the-wire encoding of model parameter
+// vectors exchanged between clients and server. The simulator's
+// communication accounting (fl.CommStats) models volumes; this package
+// makes those bytes concrete — including the lossy narrow encodings
+// (float32, int8 range quantization) that federated deployments use to cut
+// uplink cost — so compression ablations measure real encoded sizes.
+//
+// Every message is framed as:
+//
+//	magic (2B) | codec (1B) | reserved (1B) | count (4B LE) |
+//	codec-specific header | payload | crc32 of everything before it (4B)
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Codec identifies a parameter encoding.
+type Codec uint8
+
+const (
+	// Float64 is the lossless 8-byte encoding.
+	Float64 Codec = iota
+	// Float32 halves the payload with ~1e-7 relative rounding.
+	Float32
+	// Quant8 is linear 8-bit range quantization: payload carries one
+	// byte per value plus a (min, scale) float64 header pair.
+	Quant8
+)
+
+// String returns the codec name.
+func (c Codec) String() string {
+	switch c {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Quant8:
+		return "quant8"
+	default:
+		return fmt.Sprintf("Codec(%d)", uint8(c))
+	}
+}
+
+const magic = 0xFC5A // "FedClust" frame marker
+
+// headerLen is the fixed frame prefix length.
+const headerLen = 2 + 1 + 1 + 4
+
+// EncodedSize returns the total frame size for n values under codec c.
+func EncodedSize(c Codec, n int) int {
+	switch c {
+	case Float64:
+		return headerLen + 8*n + 4
+	case Float32:
+		return headerLen + 4*n + 4
+	case Quant8:
+		return headerLen + 16 + n + 4
+	default:
+		panic(fmt.Sprintf("wire: unknown codec %d", uint8(c)))
+	}
+}
+
+// Encode frames vec under the chosen codec.
+func Encode(c Codec, vec []float64) []byte {
+	out := make([]byte, 0, EncodedSize(c, len(vec)))
+	out = append(out, byte(magic>>8), byte(magic&0xff), byte(c), 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(vec)))
+	switch c {
+	case Float64:
+		for _, v := range vec {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	case Float32:
+		for _, v := range vec {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(v)))
+		}
+	case Quant8:
+		lo, hi := rangeOf(vec)
+		scale := (hi - lo) / 255
+		if scale == 0 {
+			scale = 1 // constant vector: all bytes 0, min carries the value
+		}
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(lo))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(scale))
+		for _, v := range vec {
+			q := math.Round((v - lo) / scale)
+			if q < 0 {
+				q = 0
+			}
+			if q > 255 {
+				q = 255
+			}
+			out = append(out, byte(q))
+		}
+	default:
+		panic(fmt.Sprintf("wire: unknown codec %d", uint8(c)))
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out
+}
+
+// Decode parses a frame produced by Encode, returning the decoded values.
+// It returns an error (never panics) on truncation, bad magic, unknown
+// codec, or checksum mismatch — a server must survive malformed client
+// uploads.
+func Decode(frame []byte) ([]float64, error) {
+	if len(frame) < headerLen+4 {
+		return nil, fmt.Errorf("wire: frame too short (%d bytes)", len(frame))
+	}
+	if frame[0] != byte(magic>>8) || frame[1] != byte(magic&0xff) {
+		return nil, fmt.Errorf("wire: bad magic %#x%02x", frame[0], frame[1])
+	}
+	body, sum := frame[:len(frame)-4], binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("wire: checksum mismatch")
+	}
+	c := Codec(frame[2])
+	switch c {
+	case Float64, Float32, Quant8:
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %d", uint8(c))
+	}
+	n := int(binary.LittleEndian.Uint32(frame[4:8]))
+	if n < 0 {
+		return nil, fmt.Errorf("wire: negative count")
+	}
+	if want := EncodedSize(c, n); want != len(frame) {
+		return nil, fmt.Errorf("wire: frame length %d, want %d for %s×%d", len(frame), want, c, n)
+	}
+	payload := frame[headerLen : len(frame)-4]
+	out := make([]float64, n)
+	switch c {
+	case Float64:
+		for i := 0; i < n; i++ {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case Float32:
+		for i := 0; i < n; i++ {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+	case Quant8:
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		for i := 0; i < n; i++ {
+			out[i] = lo + scale*float64(payload[16+i])
+		}
+	}
+	return out, nil
+}
+
+// MaxError returns the worst-case absolute reconstruction error of codec c
+// on vec (0 for Float64).
+func MaxError(c Codec, vec []float64) float64 {
+	dec, err := Decode(Encode(c, vec))
+	if err != nil {
+		panic(err) // encode→decode of a valid vector cannot fail
+	}
+	var m float64
+	for i := range vec {
+		if d := math.Abs(vec[i] - dec[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func rangeOf(vec []float64) (lo, hi float64) {
+	if len(vec) == 0 {
+		return 0, 0
+	}
+	lo, hi = vec[0], vec[0]
+	for _, v := range vec[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
