@@ -1,0 +1,3 @@
+module fedclust
+
+go 1.21

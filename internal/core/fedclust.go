@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"fedclust/internal/cluster"
+	"fedclust/internal/engine"
 	"fedclust/internal/fl"
 	"fedclust/internal/linalg"
 	"fedclust/internal/nn"
@@ -141,7 +142,7 @@ func (s *ClusterState) NewcomerFeature(model *nn.Sequential) []float64 {
 
 // Run implements fl.Trainer: one-shot clustering, then per-cluster FedAvg.
 func (f *FedClust) Run(env *fl.Env) *fl.Result {
-	env.Validate()
+	d := engine.New(env, "FedClust")
 	cfg := f.Cfg
 	n := len(env.Clients)
 	if cfg.WarmupEpochs == 0 {
@@ -153,13 +154,12 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 			cfg.MaxClusters = 2
 		}
 	}
-	res := &fl.Result{Method: "FedClust"}
+	res := d.Res
 
 	// --- Steps ①–②: broadcast w₀; local warmup; upload partial weights.
-	init := nn.FlattenParams(env.NewModel())
-	nParams := len(init)
-	features := CollectPartialWeights(env, cfg, init)
-	res.Comm.Download(n, nParams)        // step ① broadcast
+	init := d.InitParams()
+	features, initLayer := collectPartialWeights(env, cfg, init, d.Pool().Get)
+	res.Comm.Download(n, d.NumParams)    // step ① broadcast
 	res.Comm.Upload(n, len(features[0])) // step ② partial upload only
 
 	// --- Steps ③–④: proximity matrix + hierarchical clustering.
@@ -186,7 +186,7 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 		Centroids:  centroids(features, labels, k),
 		Dendrogram: den,
 		Metric:     cfg.Metric,
-		InitLayer:  InitLayerVector(env, cfg),
+		InitLayer:  initLayer,
 		Cfg:        cfg,
 	}
 	res.Clusters = labels
@@ -199,45 +199,8 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 	for c := range st.Models {
 		st.Models[c] = append([]float64(nil), init...)
 	}
-	weights := env.TrainSizes()
-	locals := make([][]float64, n)
-	for round := 0; round < env.Rounds; round++ {
-		res.Comm.Download(n, nParams)
-		env.ParallelClients(n, func(i int) {
-			model := env.NewModel()
-			nn.LoadParams(model, st.Models[labels[i]])
-			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
-			locals[i] = nn.FlattenParams(model)
-		})
-		res.Comm.Upload(n, nParams)
-		for c := 0; c < k; c++ {
-			var vecs [][]float64
-			var ws []float64
-			for i := 0; i < n; i++ {
-				if labels[i] == c {
-					vecs = append(vecs, locals[i])
-					ws = append(ws, weights[i])
-				}
-			}
-			if len(vecs) > 0 {
-				st.Models[c] = fl.WeightedAverage(vecs, ws)
-			}
-		}
-		res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			served := make([]*nn.Sequential, k)
-			for c := range served {
-				served[c] = env.NewModel()
-				nn.LoadParams(served[c], st.Models[c])
-			}
-			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[labels[i]] })
-			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
-		}
-	}
 	f.State = st
-	return res
+	return d.RunClusteredFedAvg(labels, k, st.Models)
 }
 
 // layerVector extracts the configured layer's parameters from a model.
@@ -285,24 +248,35 @@ func FeatureOf(model *nn.Sequential, initLayer []float64, cfg Config) []float64 
 // CollectPartialWeights performs the warmup phase: every client trains
 // locally from the given initial weights for cfg.WarmupEpochs and the
 // selected layer's update is extracted as that client's clustering
-// feature. Runs clients in parallel.
+// feature. Runs clients in parallel over per-worker reused models.
 func CollectPartialWeights(env *fl.Env, cfg Config, init []float64) [][]float64 {
+	pool := engine.NewModelPool(env)
+	features, _ := collectPartialWeights(env, cfg, init, pool.Get)
+	return features
+}
+
+// collectPartialWeights is CollectPartialWeights over a caller-provided
+// per-worker model source (FedClust.Run passes its round engine's pool so
+// no extra networks are built). It also returns the selected layer's
+// parameters under init — the reference every feature is extracted
+// against.
+func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(worker int) *nn.Sequential) (features [][]float64, initLayer []float64) {
 	n := len(env.Clients)
-	features := make([][]float64, n)
+	features = make([][]float64, n)
 	local := env.Local
 	if cfg.WarmupEpochs > 0 {
 		local.Epochs = cfg.WarmupEpochs
 	}
-	refModel := env.NewModel()
-	nn.LoadParams(refModel, init)
-	initLayer := layerVector(refModel, cfg)
-	env.ParallelClients(n, func(i int) {
-		model := env.NewModel()
-		nn.LoadParams(model, init)
-		fl.LocalUpdate(model, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
-		features[i] = FeatureOf(model, initLayer, cfg)
+	ref := model(0)
+	nn.LoadParams(ref, init)
+	initLayer = layerVector(ref, cfg)
+	env.ParallelClientsWorker(n, func(w, i int) {
+		m := model(w)
+		nn.LoadParams(m, init)
+		fl.LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
+		features[i] = FeatureOf(m, initLayer, cfg)
 	})
-	return features
+	return features, initLayer
 }
 
 // centroids computes per-cluster mean feature vectors.

@@ -1,0 +1,295 @@
+// Package engine is the shared federated round engine. Every trainer in
+// internal/methods and internal/core runs its training schedule through a
+// RoundDriver, which owns the per-round skeleton — participation
+// sampling, communication accounting, parallel client execution,
+// aggregation, periodic personalized evaluation — while the method
+// supplies the parts that differ through Hooks.
+//
+// The driver also owns the performance layer every method inherits:
+//   - a per-worker ModelPool, so local training and evaluation reuse one
+//     nn.Sequential per executor goroutine instead of rebuilding the
+//     network per client per round;
+//   - one contiguous flat-parameter arena backing every client's reported
+//     update (Locals), written in place via nn.FlattenParamsInto.
+//
+// See DESIGN.md for the architecture and the hook contract.
+package engine
+
+import (
+	"fmt"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// ClientCtx is the per-client execution context handed to the Local hook.
+// One ClientCtx exists per executor worker and is reused across clients;
+// hooks must not retain it (or Model) past the call.
+type ClientCtx struct {
+	Env *fl.Env
+	// Model is the worker's pooled network. Its weights are unspecified on
+	// entry; load them (DefaultLocal does) before training or evaluating.
+	Model *nn.Sequential
+	// Client is the client index, Round the 0-based round.
+	Client, Round int
+	// Start is this client's entry from the Broadcast hook (nil when the
+	// method sets no Broadcast hook).
+	Start []float64
+	// Out is the client's slot in the driver's Locals arena; write the
+	// flattened post-training parameters here.
+	Out []float64
+}
+
+// Hooks are the method-specific parts of a round. Aggregate and Served
+// are required; Broadcast is required unless Local is set.
+type Hooks struct {
+	// Broadcast returns each client's starting parameter vector for the
+	// round, indexed by client id (entries for uninvited clients may be
+	// nil). The returned slice is read during the parallel client phase
+	// and must stay unmodified until it ends.
+	Broadcast func(round int) [][]float64
+	// Local overrides the client-side objective. The default
+	// (DefaultLocal) loads Start, runs fl.LocalUpdate, and flattens into
+	// Out. Local runs concurrently across clients: it may only write
+	// per-client state (indexed by ctx.Client) and the ctx buffers.
+	Local func(ctx *ClientCtx)
+	// Aggregate folds the reported clients' Locals into the method's
+	// server-side state. Runs serially after the client phase.
+	Aggregate func(round int, reported []int)
+	// OnRoundEnd runs serially after Aggregate, before evaluation —
+	// cluster-split checks, assignment-change tracking, and similar
+	// bookkeeping.
+	OnRoundEnd func(round int)
+	// Served returns the flat parameters evaluated for client i during
+	// periodic evaluation (e.g. its cluster's model).
+	Served func(clientIdx int) []float64
+	// DownlinkPerClient and UplinkPerClient override the per-client scalar
+	// counts used for communication accounting (default: NumParams each
+	// way; IFCA downloads K models per client).
+	DownlinkPerClient func(round int) int
+	UplinkPerClient   func(round int) int
+}
+
+// RoundDriver runs the shared sample → broadcast → local-train →
+// aggregate → evaluate round loop on an environment.
+type RoundDriver struct {
+	Env *fl.Env
+	// Res accumulates the run's result; methods may record pre-round
+	// phases (e.g. FedClust's one-shot clustering traffic) before Run and
+	// finalize cluster fields after.
+	Res *fl.Result
+	// Hooks are the method-specific callbacks.
+	Hooks Hooks
+	// FullParticipation bypasses Env.Participation sampling: every client
+	// is invited and reports each round (the clustered-FL literature's
+	// setting; FedAvg-style trainers leave it false).
+	FullParticipation bool
+	// NumParams is the scalar parameter count of the environment's model.
+	NumParams int
+	// Locals[i] is client i's reported flat parameters for the current
+	// round. All slots share one contiguous arena and are rewritten in
+	// place every round.
+	Locals [][]float64
+	// Weights caches env.TrainSizes() for aggregation.
+	Weights []float64
+
+	w0         []float64
+	pool       *ModelPool
+	all        []int
+	ctxs       []*ClientCtx
+	gatherVecs [][]float64
+	gatherWs   []float64
+}
+
+// New validates the environment and builds a driver for one method run.
+func New(env *fl.Env, method string) *RoundDriver {
+	env.Validate()
+	n := len(env.Clients)
+	d := &RoundDriver{
+		Env:  env,
+		Res:  &fl.Result{Method: method},
+		pool: NewModelPool(env),
+	}
+	proto := d.pool.Get(0)
+	d.NumParams = proto.NumParams()
+	d.w0 = nn.FlattenParams(proto)
+	arena := make([]float64, n*d.NumParams)
+	d.Locals = make([][]float64, n)
+	for i := range d.Locals {
+		d.Locals[i] = arena[i*d.NumParams : (i+1)*d.NumParams : (i+1)*d.NumParams]
+	}
+	d.Weights = env.TrainSizes()
+	d.all = make([]int, n)
+	for i := range d.all {
+		d.all[i] = i
+	}
+	d.ctxs = make([]*ClientCtx, d.pool.Size())
+	for w := range d.ctxs {
+		d.ctxs[w] = &ClientCtx{Env: env}
+	}
+	d.gatherVecs = make([][]float64, 0, n)
+	d.gatherWs = make([]float64, 0, n)
+	return d
+}
+
+// InitParams returns a fresh copy of the canonical initial parameters w₀
+// (what nn.FlattenParams(env.NewModel()) yields, without building another
+// model). Callers own the copy and may aggregate into it.
+func (d *RoundDriver) InitParams() []float64 {
+	return append([]float64(nil), d.w0...)
+}
+
+// Pool exposes the per-worker model pool for method phases outside the
+// round loop (e.g. FedClust's warmup feature collection).
+func (d *RoundDriver) Pool() *ModelPool { return d.pool }
+
+// DefaultLocal is the plain client objective: load the broadcast weights,
+// run local SGD, flatten the trained parameters into the client's slot.
+func DefaultLocal(ctx *ClientCtx) {
+	nn.LoadParams(ctx.Model, ctx.Start)
+	fl.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.Env.ClientRng(ctx.Client, ctx.Round))
+	nn.FlattenParamsInto(ctx.Model, ctx.Out)
+}
+
+// Gather collects the reported clients' local vectors and aggregation
+// weights into reused scratch slices (valid until the next Gather call).
+func (d *RoundDriver) Gather(reported []int) (vecs [][]float64, ws []float64) {
+	vecs, ws = d.gatherVecs[:0], d.gatherWs[:0]
+	for _, i := range reported {
+		vecs = append(vecs, d.Locals[i])
+		ws = append(ws, d.Weights[i])
+	}
+	d.gatherVecs, d.gatherWs = vecs, ws
+	return vecs, ws
+}
+
+// GatherCluster collects the local vectors and weights of the clients
+// assigned to cluster id, in client order (reused scratch, as Gather).
+func (d *RoundDriver) GatherCluster(assign []int, id int) (vecs [][]float64, ws []float64) {
+	vecs, ws = d.gatherVecs[:0], d.gatherWs[:0]
+	for i, a := range assign {
+		if a == id {
+			vecs = append(vecs, d.Locals[i])
+			ws = append(ws, d.Weights[i])
+		}
+	}
+	d.gatherVecs, d.gatherWs = vecs, ws
+	return vecs, ws
+}
+
+// Run executes the round schedule and returns the accumulated result.
+func (d *RoundDriver) Run() *fl.Result {
+	if d.Hooks.Aggregate == nil {
+		panic(fmt.Sprintf("engine: %s has no Aggregate hook", d.Res.Method))
+	}
+	if d.Hooks.Served == nil {
+		panic(fmt.Sprintf("engine: %s has no Served hook", d.Res.Method))
+	}
+	if d.Hooks.Broadcast == nil && d.Hooks.Local == nil {
+		panic(fmt.Sprintf("engine: %s has neither Broadcast nor Local hook", d.Res.Method))
+	}
+	env := d.Env
+	for round := 0; round < env.Rounds; round++ {
+		invited, reported := d.sample(round)
+		d.Res.Comm.Download(len(invited), d.downlink(round))
+		var starts [][]float64
+		if d.Hooks.Broadcast != nil {
+			starts = d.Hooks.Broadcast(round)
+		}
+		env.ParallelClientsWorker(len(invited), func(w, j int) {
+			i := invited[j]
+			ctx := d.ctxs[w]
+			ctx.Model = d.pool.Get(w)
+			ctx.Client, ctx.Round = i, round
+			ctx.Start = nil
+			if starts != nil {
+				ctx.Start = starts[i]
+			}
+			ctx.Out = d.Locals[i]
+			if d.Hooks.Local != nil {
+				d.Hooks.Local(ctx)
+			} else {
+				DefaultLocal(ctx)
+			}
+		})
+		d.Res.Comm.Upload(len(reported), d.uplink(round))
+		d.Hooks.Aggregate(round, reported)
+		if d.Hooks.OnRoundEnd != nil {
+			d.Hooks.OnRoundEnd(round)
+		}
+		d.Res.Comm.EndRound(round + 1)
+
+		if env.ShouldEval(round) {
+			per, acc, loss := d.evaluateServed()
+			d.Res.History = append(d.Res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+			d.Res.PerClientAcc, d.Res.FinalAcc, d.Res.FinalLoss = per, acc, loss
+		}
+	}
+	return d.Res
+}
+
+// RunClusteredFedAvg wires the hooks for the common "fixed assignment,
+// one FedAvg model per cluster" schedule (PACFL and FedClust after their
+// one-shot clustering phases) and runs it: every round each client trains
+// its cluster's model and each non-empty cluster averages its members.
+// labels maps client → cluster in [0, k); models holds one flat parameter
+// vector per cluster and is updated in place.
+func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64) *fl.Result {
+	d.FullParticipation = true
+	starts := make([][]float64, len(labels))
+	d.Hooks.Broadcast = func(round int) [][]float64 {
+		for i, l := range labels {
+			starts[i] = models[l]
+		}
+		return starts
+	}
+	d.Hooks.Aggregate = func(round int, reported []int) {
+		for c := 0; c < k; c++ {
+			vecs, ws := d.GatherCluster(labels, c)
+			if len(vecs) > 0 {
+				fl.WeightedAverageInto(models[c], vecs, ws)
+			}
+		}
+	}
+	d.Hooks.Served = func(i int) []float64 { return models[labels[i]] }
+	return d.Run()
+}
+
+// sample draws the round's invited and reporting sets.
+func (d *RoundDriver) sample(round int) (invited, reported []int) {
+	if d.FullParticipation {
+		return d.all, d.all
+	}
+	return d.Env.SampleRound(round)
+}
+
+func (d *RoundDriver) downlink(round int) int {
+	if d.Hooks.DownlinkPerClient != nil {
+		return d.Hooks.DownlinkPerClient(round)
+	}
+	return d.NumParams
+}
+
+func (d *RoundDriver) uplink(round int) int {
+	if d.Hooks.UplinkPerClient != nil {
+		return d.Hooks.UplinkPerClient(round)
+	}
+	return d.NumParams
+}
+
+// evaluateServed runs the personalized evaluation protocol over the
+// pooled per-worker models: each worker loads the served vector only when
+// it differs (by identity) from the one it evaluated last, so serving one
+// cluster model to many clients costs one load per worker.
+func (d *RoundDriver) evaluateServed() ([]float64, float64, float64) {
+	last := make([][]float64, d.pool.Size())
+	return d.Env.EvaluateWith(func(w, i int) *nn.Sequential {
+		vec := d.Hooks.Served(i)
+		m := d.pool.Get(w)
+		if last[w] == nil || &last[w][0] != &vec[0] {
+			nn.LoadParams(m, vec)
+			last[w] = vec
+		}
+		return m
+	})
+}

@@ -1,0 +1,109 @@
+package engine_test
+
+import (
+	"testing"
+
+	"fedclust/internal/engine"
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// TestDriverRequiresHooks: a driver without its required hooks must fail
+// loudly, not train garbage.
+func TestDriverRequiresHooks(t *testing.T) {
+	expectPanic := func(name string, wire func(d *engine.RoundDriver)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Run did not panic", name)
+			}
+		}()
+		d := engine.New(goldenEnv(1, 1, fl.Participation{}), "test")
+		wire(d)
+		d.Run()
+	}
+	expectPanic("no aggregate", func(d *engine.RoundDriver) {
+		d.Hooks.Local = func(*engine.ClientCtx) {}
+		d.Hooks.Served = func(int) []float64 { return nil }
+	})
+	expectPanic("no served", func(d *engine.RoundDriver) {
+		d.Hooks.Local = func(*engine.ClientCtx) {}
+		d.Hooks.Aggregate = func(int, []int) {}
+	})
+	expectPanic("no client objective", func(d *engine.RoundDriver) {
+		d.Hooks.Aggregate = func(int, []int) {}
+		d.Hooks.Served = func(int) []float64 { return nil }
+	})
+}
+
+// TestDriverBuffers: the locals arena must be per-client, disjoint,
+// sized to the model, and InitParams must be a defensive copy of w₀.
+func TestDriverBuffers(t *testing.T) {
+	env := goldenEnv(2, 1, fl.Participation{})
+	d := engine.New(env, "test")
+	want := env.NewModel().NumParams()
+	if d.NumParams != want {
+		t.Fatalf("NumParams %d, want %d", d.NumParams, want)
+	}
+	if len(d.Locals) != len(env.Clients) {
+		t.Fatalf("locals slots %d, want %d", len(d.Locals), len(env.Clients))
+	}
+	for i, l := range d.Locals {
+		if len(l) != want {
+			t.Fatalf("locals[%d] length %d, want %d", i, len(l), want)
+		}
+	}
+	a, b := d.InitParams(), d.InitParams()
+	a[0] += 1
+	if b[0] == a[0] {
+		t.Fatal("InitParams returned a shared buffer")
+	}
+	if w0 := nn.FlattenParams(env.NewModel()); b[0] != w0[0] || len(b) != len(w0) {
+		t.Fatal("InitParams does not match the canonical initialization")
+	}
+}
+
+// TestGatherCluster: gathering must preserve client order within a
+// cluster and pair each vector with its sample weight.
+func TestGatherCluster(t *testing.T) {
+	env := goldenEnv(3, 1, fl.Participation{})
+	d := engine.New(env, "test")
+	assign := []int{0, 1, 0, 1, 0, 1}
+	vecs, ws := d.GatherCluster(assign, 1)
+	if len(vecs) != 3 || len(ws) != 3 {
+		t.Fatalf("gathered %d vecs %d weights, want 3", len(vecs), len(ws))
+	}
+	for j, i := range []int{1, 3, 5} {
+		if &vecs[j][0] != &d.Locals[i][0] {
+			t.Fatalf("vec %d is not client %d's arena slot", j, i)
+		}
+		if ws[j] != float64(env.Clients[i].Train.Len()) {
+			t.Fatalf("weight %d = %v, want client %d's train size", j, ws[j], i)
+		}
+	}
+}
+
+// TestCommOverrides: Downlink/UplinkPerClient hooks must flow into the
+// accounting (IFCA's K-model broadcast depends on this).
+func TestCommOverrides(t *testing.T) {
+	env := goldenEnv(4, 2, fl.Participation{})
+	d := engine.New(env, "test")
+	d.FullParticipation = true
+	global := d.InitParams()
+	d.Hooks.Local = func(ctx *engine.ClientCtx) {
+		ctx.Start = global
+		engine.DefaultLocal(ctx)
+	}
+	d.Hooks.Aggregate = func(int, []int) {}
+	d.Hooks.Served = func(int) []float64 { return global }
+	d.Hooks.DownlinkPerClient = func(int) int { return 3 * d.NumParams }
+	d.Hooks.UplinkPerClient = func(int) int { return 5 }
+	res := d.Run()
+	n := int64(len(env.Clients))
+	if want := n * int64(3*d.NumParams) * fl.BytesPerParam * int64(env.Rounds); res.Comm.DownBytes != want {
+		t.Fatalf("down bytes %d, want %d", res.Comm.DownBytes, want)
+	}
+	if want := n * 5 * fl.BytesPerParam * int64(env.Rounds); res.Comm.UpBytes != want {
+		t.Fatalf("up bytes %d, want %d", res.Comm.UpBytes, want)
+	}
+}

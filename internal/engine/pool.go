@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// ModelPool holds one nn.Sequential per executor worker so the round loop
+// trains and evaluates thousands of client visits without rebuilding the
+// network. Every use loads the client's starting weights in place with
+// nn.LoadParams, which overwrites all parameters, so reuse is
+// bit-equivalent to a freshly built model.
+//
+// Invariants (see DESIGN.md §model pool):
+//   - Slot w is only ever touched by executor worker w (fl.ParallelForWorker
+//     guarantees worker ids are goroutine-stable), so no locking is needed.
+//   - The environment's Factory must not embed mutable cross-call state
+//     that survives LoadParams — e.g. an nn.Dropout layer's private RNG
+//     stream would advance across pooled reuses where a fresh model would
+//     restart it. The models in nn's zoo (Dense/Conv2D/ReLU/MaxPool2) are
+//     all safe: their only mutable non-parameter state is forward caches
+//     that each Forward call fully overwrites.
+type ModelPool struct {
+	env    *fl.Env
+	models []*nn.Sequential
+}
+
+// NewModelPool sizes a pool for the environment's worker count.
+func NewModelPool(env *fl.Env) *ModelPool {
+	return &ModelPool{env: env, models: make([]*nn.Sequential, env.WorkerCount())}
+}
+
+// Get returns worker w's model, building it on first use (the pool's only
+// env.NewModel call per worker). The weights are whatever the previous
+// use left behind; callers must nn.LoadParams before relying on them.
+func (p *ModelPool) Get(w int) *nn.Sequential {
+	if p.models[w] == nil {
+		p.models[w] = p.env.NewModel()
+	}
+	return p.models[w]
+}
+
+// Size returns the number of worker slots.
+func (p *ModelPool) Size() int { return len(p.models) }

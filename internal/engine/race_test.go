@@ -1,0 +1,124 @@
+package engine_test
+
+// Concurrency coverage: these tests are written to put the executor, the
+// per-worker model pool, and the shared evaluation protocol under real
+// contention so `go test -race` can catch unsynchronized access. The
+// seed's evaluation path shared one nn.Sequential across goroutines —
+// whose layers cache forward activations — which the per-worker
+// clone/pool design removed.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fedclust/internal/core"
+	"fedclust/internal/engine"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+)
+
+// TestParallelForWorkerIDsAreGoroutineStable: worker ids must be disjoint
+// across concurrently running goroutines, so per-worker state needs no
+// locks. Each worker slot counts re-entrant use; any overlap trips the
+// guard (and the -race detector via the unsynchronized busy flags).
+func TestParallelForWorkerIDsAreGoroutineStable(t *testing.T) {
+	const n, workers = 500, 8
+	busy := make([]int32, workers)
+	var visited int64
+	fl.ParallelForWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		if !atomic.CompareAndSwapInt32(&busy[w], 0, 1) {
+			t.Errorf("worker slot %d used concurrently", w)
+		}
+		atomic.AddInt64(&visited, 1)
+		atomic.StoreInt32(&busy[w], 0)
+	})
+	if visited != n {
+		t.Fatalf("visited %d indices, want %d", visited, n)
+	}
+}
+
+// TestParallelForWorkerCoversAllIndices: every index is run exactly once.
+func TestParallelForWorkerCoversAllIndices(t *testing.T) {
+	const n = 257
+	counts := make([]int32, n)
+	fl.ParallelForWorker(n, 7, func(_, i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d run %d times", i, c)
+		}
+	}
+}
+
+// TestModelPoolConcurrentTraining: hammer the pool with parallel local
+// updates (the engine's client phase) — each worker must end up with its
+// own network and no cross-worker sharing.
+func TestModelPoolConcurrentTraining(t *testing.T) {
+	env := goldenEnv(11, 1, fl.Participation{})
+	env.Workers = 6
+	pool := engine.NewModelPool(env)
+	w0 := nn.FlattenParams(pool.Get(0))
+	// Many passes over the client set so workers contend on the pool.
+	for pass := 0; pass < 3; pass++ {
+		env.ParallelClientsWorker(len(env.Clients), func(w, i int) {
+			m := pool.Get(w)
+			nn.LoadParams(m, w0)
+			fl.LocalUpdate(m, env.Clients[i].Train, env.Local, env.ClientRng(i, pass))
+		})
+	}
+	seen := map[*nn.Sequential]bool{}
+	for w := 0; w < pool.Size(); w++ {
+		m := pool.Get(w)
+		if seen[m] {
+			t.Fatal("two workers share one pooled model")
+		}
+		seen[m] = true
+	}
+}
+
+// TestConcurrentEvaluatePersonalizedSharedModel: the historical race — a
+// single served model evaluated by every client in parallel. The
+// per-worker clones inside EvaluatePersonalized must keep this clean
+// under -race and return the same numbers as serial evaluation.
+func TestConcurrentEvaluatePersonalizedSharedModel(t *testing.T) {
+	env := goldenEnv(12, 1, fl.Participation{})
+	shared := env.NewModel()
+
+	env.Workers = 8
+	perPar, accPar, lossPar := env.EvaluatePersonalized(func(int) *nn.Sequential { return shared })
+	env.Workers = 1
+	perSer, accSer, lossSer := env.EvaluatePersonalized(func(int) *nn.Sequential { return shared })
+
+	if accPar != accSer || lossPar != lossSer {
+		t.Fatalf("parallel eval diverged: acc %v vs %v, loss %v vs %v", accPar, accSer, lossPar, lossSer)
+	}
+	for i := range perPar {
+		if perPar[i] != perSer[i] {
+			t.Fatalf("client %d accuracy diverged: %v vs %v", i, perPar[i], perSer[i])
+		}
+	}
+}
+
+// TestTrainersUnderContention runs the engine-backed trainers with more
+// workers than clients so the pool, arena writes, and evaluation all
+// overlap aggressively; -race verifies the round loop is clean.
+func TestTrainersUnderContention(t *testing.T) {
+	trainers := []fl.Trainer{
+		methods.FedAvg{},
+		methods.CFL{WarmupRounds: 1, Eps1: 0.8, Eps2: 0.1},
+		methods.IFCA{K: 2},
+		&core.FedClust{},
+	}
+	for _, tr := range trainers {
+		env := goldenEnv(13, 2, fl.Participation{})
+		env.Workers = 16
+		env.EvalEvery = 1
+		res := tr.Run(env)
+		if len(res.PerClientAcc) != len(env.Clients) {
+			t.Fatalf("%s: missing per-client accuracies", res.Method)
+		}
+	}
+}

@@ -8,6 +8,16 @@ import (
 	"fedclust/internal/tensor"
 )
 
+// skipInShort gates the multi-second end-to-end experiment runs so that
+// `go test -short ./...` finishes in seconds. CI runs both modes; the
+// full experiment suite still runs on every default `go test ./...`.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy experiment run skipped in -short mode")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := NewTable("A", "Blong")
 	tab.AddRow("x")
@@ -146,6 +156,7 @@ func TestTable1CellStats(t *testing.T) {
 }
 
 func TestRunTable1MiniGrid(t *testing.T) {
+	skipInShort(t)
 	// A miniature grid (1 dataset, 2 methods, 1 seed, tiny workload)
 	// exercises the full Table-I plumbing quickly.
 	opts := Table1Options{
@@ -192,6 +203,7 @@ func TestShapeChecksFormat(t *testing.T) {
 }
 
 func TestRunCommQuick(t *testing.T) {
+	skipInShort(t)
 	opts := DefaultCommOptions()
 	opts.Quick = true
 	opts.Rounds = 4
@@ -223,6 +235,7 @@ func TestRunCommQuick(t *testing.T) {
 }
 
 func TestRunNewcomerQuick(t *testing.T) {
+	skipInShort(t)
 	opts := DefaultNewcomerOptions()
 	opts.Newcomers = 4
 	res := RunNewcomer(opts)
@@ -254,6 +267,7 @@ func TestRunLayerAblationQuick(t *testing.T) {
 }
 
 func TestRunLinkageAblationQuick(t *testing.T) {
+	skipInShort(t)
 	opts := DefaultLinkageAblationOptions()
 	res := RunLinkageAblation(opts)
 	if len(res.Rows) != 4 {
@@ -296,6 +310,7 @@ func TestRunFig1Tiny(t *testing.T) {
 }
 
 func TestRunAlphaSweepTiny(t *testing.T) {
+	skipInShort(t)
 	opts := AlphaSweepOptions{
 		Dataset: "fmnist",
 		Alphas:  []float64{0.1, 10},
@@ -320,6 +335,7 @@ func TestRunAlphaSweepTiny(t *testing.T) {
 }
 
 func TestRunScaleTiny(t *testing.T) {
+	skipInShort(t)
 	opts := ScaleOptions{Dataset: "fmnist", ClientSizes: []int{4, 8}, Seed: 1}
 	res := RunScale(opts)
 	if len(res.Rows) != 2 {
@@ -336,6 +352,7 @@ func TestRunScaleTiny(t *testing.T) {
 }
 
 func TestRunSelectorAblationQuick(t *testing.T) {
+	skipInShort(t)
 	opts := DefaultSelectorAblationOptions()
 	res := RunSelectorAblation(opts)
 	if len(res.Rows) != 3 {

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // WeightedAverage computes the sample-count-weighted average of parameter
@@ -12,10 +13,24 @@ func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
 	if len(vecs) == 0 {
 		panic("fl: WeightedAverage of nothing")
 	}
+	return WeightedAverageInto(make([]float64, len(vecs[0])), vecs, weights)
+}
+
+// WeightedAverageInto computes the same weighted average as
+// WeightedAverage into a caller-provided buffer, allowing round loops to
+// reuse one scratch vector instead of allocating per aggregation. dst is
+// zeroed first and must not alias any input vector. Returns dst.
+func WeightedAverageInto(dst []float64, vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 {
+		panic("fl: WeightedAverage of nothing")
+	}
 	if len(vecs) != len(weights) {
 		panic(fmt.Sprintf("fl: %d vectors but %d weights", len(vecs), len(weights)))
 	}
 	dim := len(vecs[0])
+	if len(dst) != dim {
+		panic(fmt.Sprintf("fl: aggregation buffer length %d, want %d", len(dst), dim))
+	}
 	var total float64
 	for i, w := range weights {
 		if w < 0 {
@@ -24,19 +39,35 @@ func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
 		if len(vecs[i]) != dim {
 			panic(fmt.Sprintf("fl: vector %d has length %d, want %d", i, len(vecs[i]), dim))
 		}
+		if dim > 0 && overlaps(dst, vecs[i]) {
+			panic(fmt.Sprintf("fl: aggregation buffer aliases input vector %d", i))
+		}
 		total += w
 	}
 	if total <= 0 {
 		panic("fl: total weight must be positive")
 	}
-	out := make([]float64, dim)
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, v := range vecs {
 		scale := weights[i] / total
 		for j, x := range v {
-			out[j] += scale * x
+			dst[j] += scale * x
 		}
 	}
-	return out
+	return dst
+}
+
+// overlaps reports whether two non-empty slices share any backing
+// elements. Arena sub-slicing makes partially overlapping views easy to
+// construct by accident, so the guard checks ranges, not just heads.
+func overlaps(a, b []float64) bool {
+	aLo := uintptr(unsafe.Pointer(&a[0]))
+	aHi := uintptr(unsafe.Pointer(&a[len(a)-1]))
+	bLo := uintptr(unsafe.Pointer(&b[0]))
+	bHi := uintptr(unsafe.Pointer(&b[len(b)-1]))
+	return aLo <= bHi && bLo <= aHi
 }
 
 // UniformAverage averages parameter vectors with equal weight.
@@ -50,14 +81,22 @@ func UniformAverage(vecs [][]float64) []float64 {
 
 // Delta returns after - before elementwise (a client's model update).
 func Delta(after, before []float64) []float64 {
+	return DeltaInto(make([]float64, len(after)), after, before)
+}
+
+// DeltaInto writes after - before into a caller-provided buffer (which may
+// alias `after` but not `before`). Returns dst.
+func DeltaInto(dst, after, before []float64) []float64 {
 	if len(after) != len(before) {
 		panic(fmt.Sprintf("fl: Delta length mismatch %d vs %d", len(after), len(before)))
 	}
-	out := make([]float64, len(after))
-	for i := range out {
-		out[i] = after[i] - before[i]
+	if len(dst) != len(after) {
+		panic(fmt.Sprintf("fl: Delta buffer length %d, want %d", len(dst), len(after)))
 	}
-	return out
+	for i := range dst {
+		dst[i] = after[i] - before[i]
+	}
+	return dst
 }
 
 // L2Norm returns the Euclidean norm of a vector.

@@ -62,16 +62,16 @@ func (e *Env) ClientRng(clientID, round int) *rng.Rng {
 	return rng.New(e.Seed).Derive(0xc11e47, uint64(clientID), uint64(round))
 }
 
-// evalBatch returns the effective evaluation batch size.
-func (e *Env) evalBatch() int {
+// EvalBatchSize returns the effective evaluation batch size.
+func (e *Env) EvalBatchSize() int {
 	if e.EvalBatch > 0 {
 		return e.EvalBatch
 	}
 	return 64
 }
 
-// workers returns the effective parallelism.
-func (e *Env) workers() int {
+// WorkerCount returns the effective parallelism of the client executor.
+func (e *Env) WorkerCount() int {
 	if e.Workers > 0 {
 		return e.Workers
 	}
@@ -82,11 +82,27 @@ func (e *Env) workers() int {
 // environment's worker pool. fn must be safe to call concurrently for
 // distinct indices.
 func (e *Env) ParallelClients(n int, fn func(i int)) {
-	ParallelFor(n, e.workers(), fn)
+	ParallelFor(n, e.WorkerCount(), fn)
+}
+
+// ParallelClientsWorker is ParallelClients with the executing worker's
+// stable id passed to fn, so callers can key per-worker scratch state
+// (model pools, buffers) without locking: worker w only ever runs on one
+// goroutine at a time.
+func (e *Env) ParallelClientsWorker(n int, fn func(worker, i int)) {
+	ParallelForWorker(n, e.WorkerCount(), fn)
 }
 
 // ParallelFor runs fn(0..n-1) over `workers` goroutines.
 func ParallelFor(n, workers int, fn func(i int)) {
+	ParallelForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ParallelForWorker runs fn(worker, 0..n-1) over `workers` goroutines.
+// Indices are handed out dynamically; the worker id is stable per
+// goroutine and lies in [0, min(workers, n)), so per-worker state indexed
+// by it is never accessed concurrently.
+func ParallelForWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -95,7 +111,7 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -107,12 +123,12 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -126,21 +142,23 @@ func (e *Env) ShouldEval(r int) bool {
 	return e.EvalEvery > 0 && (r+1)%e.EvalEvery == 0
 }
 
-// EvaluatePersonalized evaluates, for each client, the model selected by
-// modelFor (e.g. its cluster's model) on the client's local test split and
-// returns per-client accuracies plus the mean accuracy and loss.
-// Clients with empty test sets are skipped in the means.
-func (e *Env) EvaluatePersonalized(modelFor func(clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
+// EvaluateWith evaluates every client's test split on the model chosen by
+// pick(worker, clientIdx) and returns per-client accuracies plus the mean
+// accuracy and loss. Clients with empty test sets are skipped in the
+// means. pick receives the stable worker id so it can serve per-worker
+// model instances: nn.Sequential Forward caches activations, so a single
+// model instance must never be evaluated from two goroutines at once.
+func (e *Env) EvaluateWith(pick func(worker, clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
 	n := len(e.Clients)
 	perClient = make([]float64, n)
 	losses := make([]float64, n)
 	valid := make([]bool, n)
-	e.ParallelClients(n, func(i int) {
+	e.ParallelClientsWorker(n, func(w, i int) {
 		c := e.Clients[i]
 		if c.Test == nil || c.Test.Len() == 0 {
 			return
 		}
-		l, a := Evaluate(modelFor(i), c.Test, e.evalBatch())
+		l, a := Evaluate(pick(w, i), c.Test, e.EvalBatchSize())
 		perClient[i] = a
 		losses[i] = l
 		valid[i] = true
@@ -156,6 +174,34 @@ func (e *Env) EvaluatePersonalized(modelFor func(clientIdx int) *nn.Sequential) 
 		return perClient, 0, 0
 	}
 	return perClient, stats.Mean(accs), stats.Mean(ls)
+}
+
+// EvaluatePersonalized evaluates, for each client, the model selected by
+// modelFor (e.g. its cluster's model) on the client's local test split and
+// returns per-client accuracies plus the mean accuracy and loss.
+// Clients with empty test sets are skipped in the means.
+//
+// modelFor may return the same model for many clients; evaluation runs on
+// per-worker clones, so the returned models are only ever read (layer
+// forward caches would otherwise race across workers).
+func (e *Env) EvaluatePersonalized(modelFor func(clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
+	workers := e.WorkerCount()
+	clones := make([]*nn.Sequential, workers)
+	lastSrc := make([]*nn.Sequential, workers)
+	scratch := make([][]float64, workers)
+	return e.EvaluateWith(func(w, i int) *nn.Sequential {
+		src := modelFor(i)
+		if clones[w] == nil {
+			clones[w] = e.NewModel()
+			scratch[w] = make([]float64, clones[w].NumParams())
+		}
+		if src != lastSrc[w] {
+			nn.FlattenParamsInto(src, scratch[w])
+			nn.LoadParams(clones[w], scratch[w])
+			lastSrc[w] = src
+		}
+		return clones[w]
+	})
 }
 
 // TrainSizes returns each client's training-set size as float weights for

@@ -2,9 +2,9 @@ package methods
 
 import (
 	"fedclust/internal/cluster"
+	"fedclust/internal/engine"
 	"fedclust/internal/fl"
 	"fedclust/internal/linalg"
-	"fedclust/internal/nn"
 	"fedclust/internal/tensor"
 )
 
@@ -57,43 +57,40 @@ func (c CFL) defaults() CFL {
 
 // Run implements fl.Trainer.
 func (c CFL) Run(env *fl.Env) *fl.Result {
-	env.Validate()
 	c = c.defaults()
-	res := &fl.Result{Method: "CFL"}
+	d := engine.New(env, "CFL")
+	d.FullParticipation = true
 	n := len(env.Clients)
-	// clusters[i] = cluster id of client i; models[id] = flat params.
+	// assign[i] = cluster id of client i; models[id] = flat params.
 	assign := make([]int, n)
-	models := map[int][]float64{0: nn.FlattenParams(env.NewModel())}
-	nParams := len(models[0])
-	weights := env.TrainSizes()
-	locals := make([][]float64, n)
+	models := map[int][]float64{0: d.InitParams()}
+	starts := make([][]float64, n)
+	// deltas[i] is client i's update this round, in one contiguous arena.
+	deltaArena := make([]float64, n*d.NumParams)
 	deltas := make([][]float64, n)
+	for i := range deltas {
+		deltas[i] = deltaArena[i*d.NumParams : (i+1)*d.NumParams]
+	}
 	lastChange := 0
 	var refNorm float64 // max client-update norm of round 0: the scale reference
 
-	for round := 0; round < env.Rounds; round++ {
-		res.Comm.Download(n, nParams)
-		env.ParallelClients(n, func(i int) {
-			model := env.NewModel()
-			start := models[assign[i]]
-			nn.LoadParams(model, start)
-			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
-			locals[i] = nn.FlattenParams(model)
-			deltas[i] = fl.Delta(locals[i], start)
-		})
-		res.Comm.Upload(n, nParams)
-
+	d.Hooks.Broadcast = func(round int) [][]float64 {
+		for i := range starts {
+			starts[i] = models[assign[i]]
+		}
+		return starts
+	}
+	d.Hooks.Local = func(ctx *engine.ClientCtx) {
+		engine.DefaultLocal(ctx)
+		fl.DeltaInto(deltas[ctx.Client], ctx.Out, ctx.Start)
+	}
+	d.Hooks.Aggregate = func(round int, reported []int) {
 		// Aggregate per cluster, then consider splitting each cluster.
 		ids := clusterIDs(assign)
 		for _, id := range ids {
 			members := membersOf(assign, id)
-			var vecs [][]float64
-			var ws []float64
-			for _, i := range members {
-				vecs = append(vecs, locals[i])
-				ws = append(ws, weights[i])
-			}
-			models[id] = fl.WeightedAverage(vecs, ws)
+			vecs, ws := d.GatherCluster(assign, id)
+			fl.WeightedAverageInto(models[id], vecs, ws)
 
 			// Split criterion on this cluster's updates.
 			meanDelta := meanOf(deltas, members)
@@ -135,20 +132,10 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 				lastChange = round + 1
 			}
 		}
-		res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			served := make(map[int]*nn.Sequential)
-			for id, vec := range models {
-				m := env.NewModel()
-				nn.LoadParams(m, vec)
-				served[id] = m
-			}
-			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[assign[i]] })
-			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
-		}
 	}
+	d.Hooks.Served = func(i int) []float64 { return models[assign[i]] }
+
+	res := d.Run()
 	res.Clusters = canonicalLabels(assign)
 	res.ClusterFormationRound = lastChange
 	res.ClusterFormationUpBytes = clusterFormationUp(&res.Comm, lastChange)

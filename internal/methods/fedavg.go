@@ -2,12 +2,14 @@
 // the paper compares FedClust against: FedAvg (McMahan et al. 2017),
 // FedProx (Li et al. 2020), CFL (Sattler et al. 2020), IFCA (Ghosh et al.
 // 2020), and PACFL (Vahidian et al. 2022). All of them run on the shared
-// fl.Env substrate so comparisons are apples to apples.
+// fl.Env substrate through engine.RoundDriver, so comparisons are apples
+// to apples and every method inherits the engine's model pool and
+// flat-parameter arenas.
 package methods
 
 import (
+	"fedclust/internal/engine"
 	"fedclust/internal/fl"
-	"fedclust/internal/nn"
 )
 
 // FedAvg is the classic single-global-model algorithm: every round all
@@ -23,42 +25,26 @@ func (FedAvg) Name() string { return "FedAvg" }
 // invited clients may fail to report, and the server averages whoever
 // reported (McMahan et al.'s original protocol).
 func (FedAvg) Run(env *fl.Env) *fl.Result {
-	env.Validate()
-	res := &fl.Result{Method: "FedAvg", ClusterFormationRound: -1}
-	global := nn.FlattenParams(env.NewModel())
-	nParams := len(global)
-	n := len(env.Clients)
-	weights := env.TrainSizes()
-	locals := make([][]float64, n)
+	d := engine.New(env, "FedAvg")
+	d.Res.ClusterFormationRound = -1
+	global := d.InitParams()
+	starts := make([][]float64, len(env.Clients))
 
-	for round := 0; round < env.Rounds; round++ {
-		invited, reported := env.SampleRound(round)
-		res.Comm.Download(len(invited), nParams)
-		env.ParallelClients(len(invited), func(j int) {
-			i := invited[j]
-			model := env.NewModel()
-			nn.LoadParams(model, global)
-			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
-			locals[i] = nn.FlattenParams(model)
-		})
-		res.Comm.Upload(len(reported), nParams)
-		vecs := make([][]float64, len(reported))
-		ws := make([]float64, len(reported))
-		for j, i := range reported {
-			vecs[j], ws[j] = locals[i], weights[i]
+	d.Hooks.Broadcast = func(round int) [][]float64 {
+		for i := range starts {
+			starts[i] = global
 		}
-		global = fl.WeightedAverage(vecs, ws)
-		res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			model := env.NewModel()
-			nn.LoadParams(model, global)
-			per, acc, loss := env.EvaluatePersonalized(func(int) *nn.Sequential { return model })
-			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
-		}
+		return starts
 	}
-	return res
+	d.Hooks.Aggregate = func(round int, reported []int) {
+		vecs, ws := d.Gather(reported)
+		// The clients read global only during the (finished) parallel
+		// phase and report into separate arena slots, so averaging in
+		// place is safe.
+		fl.WeightedAverageInto(global, vecs, ws)
+	}
+	d.Hooks.Served = func(int) []float64 { return global }
+	return d.Run()
 }
 
 // FedProx is FedAvg with a proximal term μ/2·‖w − w_global‖² added to each

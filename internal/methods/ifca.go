@@ -3,6 +3,7 @@ package methods
 import (
 	"math"
 
+	"fedclust/internal/engine"
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
 )
@@ -25,52 +26,47 @@ func (f IFCA) Name() string { return "IFCA" }
 
 // Run implements fl.Trainer.
 func (f IFCA) Run(env *fl.Env) *fl.Result {
-	env.Validate()
 	if f.K < 1 {
 		panic("methods: IFCA requires K >= 1")
 	}
-	res := &fl.Result{Method: "IFCA"}
+	d := engine.New(env, "IFCA")
+	d.FullParticipation = true
 	n := len(env.Clients)
 	// Initialize the K cluster models: model 0 from the canonical shared
 	// initialization (so K=1 degenerates exactly to FedAvg) and the rest
 	// from distinct random draws, per standard IFCA practice.
 	models := make([][]float64, f.K)
-	models[0] = nn.FlattenParams(env.NewModel())
+	models[0] = d.InitParams()
 	for k := 1; k < f.K; k++ {
 		m := env.Factory(envRng(env, 0x1fca, uint64(k)))
 		models[k] = nn.FlattenParams(m)
 	}
-	nParams := len(models[0])
 	choice := make([]int, n)
-	locals := make([][]float64, n)
-	losses := make([]float64, n)
 	prevChoice := make([]int, n)
 	for i := range prevChoice {
 		prevChoice[i] = -1
 	}
 	lastChange := 0
 
-	for round := 0; round < env.Rounds; round++ {
-		// Broadcast all K models to every client.
-		res.Comm.Download(n, f.K*nParams)
-		env.ParallelClients(n, func(i int) {
-			c := env.Clients[i]
-			model := env.NewModel()
-			// Pick the cluster with lowest local training loss.
-			best, bestLoss := 0, math.Inf(1)
-			for k := 0; k < f.K; k++ {
-				nn.LoadParams(model, models[k])
-				l, _ := fl.Evaluate(model, c.Train, 64)
-				if l < bestLoss {
-					best, bestLoss = k, l
-				}
+	// Broadcast all K models to every client.
+	d.Hooks.DownlinkPerClient = func(int) int { return f.K * d.NumParams }
+	d.Hooks.Local = func(ctx *engine.ClientCtx) {
+		c := env.Clients[ctx.Client]
+		// Pick the cluster with lowest local training loss.
+		best, bestLoss := 0, math.Inf(1)
+		for k := 0; k < f.K; k++ {
+			nn.LoadParams(ctx.Model, models[k])
+			l, _ := fl.Evaluate(ctx.Model, c.Train, 64)
+			if l < bestLoss {
+				best, bestLoss = k, l
 			}
-			choice[i] = best
-			nn.LoadParams(model, models[best])
-			losses[i] = fl.LocalUpdate(model, c.Train, env.Local, env.ClientRng(i, round))
-			locals[i] = nn.FlattenParams(model)
-		})
-		res.Comm.Upload(n, nParams)
+		}
+		choice[ctx.Client] = best
+		nn.LoadParams(ctx.Model, models[best])
+		fl.LocalUpdate(ctx.Model, c.Train, env.Local, env.ClientRng(ctx.Client, ctx.Round))
+		nn.FlattenParamsInto(ctx.Model, ctx.Out)
+	}
+	d.Hooks.Aggregate = func(round int, reported []int) {
 		// Track when the clustering last changed (cluster-formation cost).
 		for i := range choice {
 			if choice[i] != prevChoice[i] {
@@ -80,33 +76,16 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 		}
 		copy(prevChoice, choice)
 		// Aggregate per cluster (clusters with no members keep their model).
-		weights := env.TrainSizes()
 		for k := 0; k < f.K; k++ {
-			var vecs [][]float64
-			var ws []float64
-			for i := 0; i < n; i++ {
-				if choice[i] == k {
-					vecs = append(vecs, locals[i])
-					ws = append(ws, weights[i])
-				}
-			}
+			vecs, ws := d.GatherCluster(choice, k)
 			if len(vecs) > 0 {
-				models[k] = fl.WeightedAverage(vecs, ws)
+				fl.WeightedAverageInto(models[k], vecs, ws)
 			}
-		}
-		res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			served := make([]*nn.Sequential, f.K)
-			for k := range served {
-				served[k] = env.NewModel()
-				nn.LoadParams(served[k], models[k])
-			}
-			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[choice[i]] })
-			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
 		}
 	}
+	d.Hooks.Served = func(i int) []float64 { return models[choice[i]] }
+
+	res := d.Run()
 	res.Clusters = append([]int(nil), choice...)
 	res.ClusterFormationRound = lastChange
 	res.ClusterFormationUpBytes = clusterFormationUp(&res.Comm, lastChange)

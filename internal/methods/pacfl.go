@@ -2,9 +2,9 @@ package methods
 
 import (
 	"fedclust/internal/cluster"
+	"fedclust/internal/engine"
 	"fedclust/internal/fl"
 	"fedclust/internal/linalg"
-	"fedclust/internal/nn"
 	"fedclust/internal/tensor"
 )
 
@@ -57,10 +57,10 @@ func (p PACFL) defaults(n int) PACFL {
 
 // Run implements fl.Trainer.
 func (p PACFL) Run(env *fl.Env) *fl.Result {
-	env.Validate()
+	d := engine.New(env, "PACFL")
 	n := len(env.Clients)
 	p = p.defaults(n)
-	res := &fl.Result{Method: "PACFL"}
+	res := d.Res
 
 	// --- One-shot clustering phase (before any training round). ---
 	bases := make([]*tensor.Tensor, n)
@@ -88,50 +88,10 @@ func (p PACFL) Run(env *fl.Env) *fl.Result {
 
 	// --- Per-cluster FedAvg. ---
 	models := make([][]float64, k)
-	init := nn.FlattenParams(env.NewModel())
 	for c := range models {
-		models[c] = append([]float64(nil), init...)
+		models[c] = d.InitParams()
 	}
-	nParams := len(init)
-	weights := env.TrainSizes()
-	locals := make([][]float64, n)
-
-	for round := 0; round < env.Rounds; round++ {
-		res.Comm.Download(n, nParams)
-		env.ParallelClients(n, func(i int) {
-			model := env.NewModel()
-			nn.LoadParams(model, models[labels[i]])
-			fl.LocalUpdate(model, env.Clients[i].Train, env.Local, env.ClientRng(i, round))
-			locals[i] = nn.FlattenParams(model)
-		})
-		res.Comm.Upload(n, nParams)
-		for c := 0; c < k; c++ {
-			var vecs [][]float64
-			var ws []float64
-			for i := 0; i < n; i++ {
-				if labels[i] == c {
-					vecs = append(vecs, locals[i])
-					ws = append(ws, weights[i])
-				}
-			}
-			if len(vecs) > 0 {
-				models[c] = fl.WeightedAverage(vecs, ws)
-			}
-		}
-		res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			served := make([]*nn.Sequential, k)
-			for c := range served {
-				served[c] = env.NewModel()
-				nn.LoadParams(served[c], models[c])
-			}
-			per, acc, loss := env.EvaluatePersonalized(func(i int) *nn.Sequential { return served[labels[i]] })
-			res.History = append(res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			res.PerClientAcc, res.FinalAcc, res.FinalLoss = per, acc, loss
-		}
-	}
-	return res
+	return d.RunClusteredFedAvg(labels, k, models)
 }
 
 // clientSubspace computes an orthonormal basis of the top-P left singular

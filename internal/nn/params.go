@@ -13,6 +13,21 @@ func FlattenParams(s *Sequential) []float64 {
 	return out
 }
 
+// FlattenParamsInto writes the network's parameters into dst in the same
+// layer order as FlattenParams, without allocating. dst must have length
+// exactly s.NumParams(). Returns dst.
+func FlattenParamsInto(s *Sequential, dst []float64) []float64 {
+	if len(dst) != s.NumParams() {
+		panic(fmt.Sprintf("nn: FlattenParamsInto length %d, want %d", len(dst), s.NumParams()))
+	}
+	off := 0
+	for _, p := range s.Params() {
+		copy(dst[off:off+p.Size()], p.Data)
+		off += p.Size()
+	}
+	return dst
+}
+
 // FlattenGrads concatenates every gradient, aligned with FlattenParams.
 func FlattenGrads(s *Sequential) []float64 {
 	out := make([]float64, 0, s.NumParams())
