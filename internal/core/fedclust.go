@@ -270,10 +270,11 @@ func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(w
 	ref := model(0)
 	nn.LoadParams(ref, init)
 	initLayer = layerVector(ref, cfg)
+	scratches := make([]fl.TrainScratch, env.WorkerCount())
 	env.ParallelClientsWorker(n, func(w, i int) {
 		m := model(w)
 		nn.LoadParams(m, init)
-		fl.LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
+		scratches[w].LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
 		features[i] = FeatureOf(m, initLayer, cfg)
 	})
 	return features, initLayer

@@ -1,0 +1,116 @@
+package data
+
+import (
+	"testing"
+
+	"fedclust/internal/rng"
+)
+
+// TestBatcherMatchesBatches pins the bit-exact property LocalUpdate's
+// refactor rests on: given the same rng stream, the Batcher yields the
+// same batches in the same order as the materializing Batches, epoch
+// after epoch (each Reset reshuffles the identity order exactly as
+// Batches does).
+func TestBatcherMatchesBatches(t *testing.T) {
+	d := toyDataset(23, 4)
+	rA, rB := rng.New(7), rng.New(7)
+	bt := d.Batcher(5)
+	for epoch := 0; epoch < 3; epoch++ {
+		want := d.Batches(5, rA)
+		bt.Reset(rB)
+		for i, wb := range want {
+			gb, ok := bt.Next()
+			if !ok {
+				t.Fatalf("epoch %d: Batcher exhausted at batch %d/%d", epoch, i, len(want))
+			}
+			if gb.X.Shape[0] != wb.X.Shape[0] || gb.X.Shape[1] != wb.X.Shape[1] {
+				t.Fatalf("epoch %d batch %d: shape %v, want %v", epoch, i, gb.X.Shape, wb.X.Shape)
+			}
+			for j := range wb.X.Data {
+				if gb.X.Data[j] != wb.X.Data[j] {
+					t.Fatalf("epoch %d batch %d: X differs at %d", epoch, i, j)
+				}
+			}
+			for j := range wb.Y {
+				if gb.Y[j] != wb.Y[j] {
+					t.Fatalf("epoch %d batch %d: Y differs at %d", epoch, i, j)
+				}
+			}
+		}
+		if _, ok := bt.Next(); ok {
+			t.Fatalf("epoch %d: Batcher yielded extra batch", epoch)
+		}
+	}
+}
+
+// TestBatcherDeterministicNilRng mirrors Batches' nil-rng contract.
+func TestBatcherDeterministicNilRng(t *testing.T) {
+	d := toyDataset(10, 3)
+	bt := d.Batcher(4)
+	bt.Reset(nil)
+	row := 0
+	for {
+		b, ok := bt.Next()
+		if !ok {
+			break
+		}
+		for i := range b.Y {
+			if b.Y[i] != d.Y[row] {
+				t.Fatalf("nil-rng order broken at row %d", row)
+			}
+			row++
+		}
+	}
+	if row != d.Len() {
+		t.Fatalf("saw %d rows, want %d", row, d.Len())
+	}
+}
+
+// TestBatcherSmallerThanBatch covers n < size: one partial batch.
+func TestBatcherSmallerThanBatch(t *testing.T) {
+	d := toyDataset(3, 2)
+	bt := d.Batcher(8)
+	bt.Reset(nil)
+	b, ok := bt.Next()
+	if !ok || b.X.Shape[0] != 3 || len(b.Y) != 3 {
+		t.Fatalf("single partial batch wrong: ok=%v shape=%v", ok, b.X.Shape)
+	}
+	if _, ok := bt.Next(); ok {
+		t.Fatal("extra batch after exhaustion")
+	}
+}
+
+// TestBatcherCachePerSize verifies the per-size cache returns the same
+// batcher for a repeated size and distinct ones for distinct sizes.
+func TestBatcherCachePerSize(t *testing.T) {
+	d := toyDataset(12, 2)
+	if d.Batcher(4) != d.Batcher(4) {
+		t.Fatal("same size should reuse the cached batcher")
+	}
+	if d.Batcher(4) == d.Batcher(6) {
+		t.Fatal("distinct sizes must not share a batcher")
+	}
+}
+
+// TestBatcherViewsAreReused pins the view semantics: a full-size batch
+// returned by Next aliases the previous full-size batch's storage.
+func TestBatcherViewsAreReused(t *testing.T) {
+	d := toyDataset(12, 2)
+	bt := d.Batcher(4)
+	bt.Reset(nil)
+	b1, _ := bt.Next()
+	b2, _ := bt.Next()
+	if &b1.X.Data[0] != &b2.X.Data[0] {
+		t.Fatal("full batches should share the backing buffer")
+	}
+}
+
+// TestBatcherZeroSizePanics mirrors Batches' validation.
+func TestBatcherZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 did not panic")
+		}
+	}()
+	toyDataset(4, 2).Batcher(0)
+}

@@ -13,12 +13,21 @@ import (
 )
 
 // Dataset is an in-memory labeled dataset of flattened CHW images.
+//
+// A Dataset (including its cached batchers) may be used by one goroutine
+// at a time; the simulator's per-client ownership — each client is
+// processed by exactly one executor worker per phase — provides that
+// naturally.
 type Dataset struct {
 	Name    string
 	X       *tensor.Tensor // (n, C*H*W)
 	Y       []int          // length n, values in [0, Classes)
 	Classes int
 	C, H, W int
+
+	// batchers caches one Batcher per batch size seen (a dataset sees at
+	// most a couple: the training batch and the evaluation batch).
+	batchers []*Batcher
 }
 
 // Len returns the number of examples.
@@ -117,6 +126,100 @@ func (d *Dataset) Batches(size int, r *rng.Rng) []Batch {
 		out = append(out, b)
 	}
 	return out
+}
+
+// Batcher is the reusable-view counterpart of Batches: it cuts the
+// dataset into the same shuffled minibatches but copies each batch into
+// one persistent backing buffer instead of materializing every batch of
+// every epoch. Next therefore yields views — a returned Batch is valid
+// only until the next Next or Reset call — and a warm epoch performs no
+// heap allocations.
+type Batcher struct {
+	d     *Dataset
+	size  int
+	order []int
+	pos   int
+	full  *tensor.Tensor // (size, dim) view over the backing buffer
+	tail  *tensor.Tensor // (n%size, dim) view over its prefix; nil if n%size == 0
+	y     []int
+}
+
+// Batcher returns the dataset's cached batcher for the given size,
+// building it on first use. The cache keeps one batcher per distinct
+// size, so alternating training and evaluation passes both stay warm.
+func (d *Dataset) Batcher(size int) *Batcher {
+	for _, b := range d.batchers {
+		if b.size == size {
+			return b
+		}
+	}
+	b := newBatcher(d, size)
+	d.batchers = append(d.batchers, b)
+	return b
+}
+
+// newBatcher sizes the backing buffer and batch views for the dataset.
+func newBatcher(d *Dataset, size int) *Batcher {
+	if size <= 0 {
+		panic(fmt.Sprintf("data: batch size must be positive, got %d", size))
+	}
+	n, dim := d.Len(), d.Dim()
+	rows := size
+	if n < size {
+		rows = n
+	}
+	b := &Batcher{
+		d: d, size: size,
+		order: make([]int, n),
+		pos:   n, // exhausted until the first Reset
+		y:     make([]int, rows),
+	}
+	buf := make([]float64, rows*dim)
+	if n >= size {
+		b.full = tensor.FromSlice(buf, size, dim)
+	}
+	if rem := n % size; rem != 0 {
+		b.tail = tensor.FromSlice(buf[:rem*dim], rem, dim)
+	}
+	return b
+}
+
+// Reset rewinds the batcher for a new epoch, reshuffling with r exactly
+// as Batches does (each epoch shuffles the identity order, so the stream
+// consumption — and therefore the batch composition — is identical). A
+// nil rng yields deterministic order.
+func (b *Batcher) Reset(r *rng.Rng) {
+	b.pos = 0
+	for i := range b.order {
+		b.order[i] = i
+	}
+	if r != nil {
+		r.Shuffle(len(b.order), func(i, j int) { b.order[i], b.order[j] = b.order[j], b.order[i] })
+	}
+}
+
+// Next copies the next minibatch into the reused view and returns it,
+// or ok=false when the epoch is exhausted. The final partial batch is
+// included, as a smaller view over the same buffer.
+func (b *Batcher) Next() (batch Batch, ok bool) {
+	n := b.d.Len()
+	if b.pos >= n {
+		return Batch{}, false
+	}
+	hi := b.pos + b.size
+	x := b.full
+	if hi > n {
+		hi = n
+		x = b.tail
+	}
+	count := hi - b.pos
+	for i := 0; i < count; i++ {
+		src := b.order[b.pos+i]
+		copy(x.Row(i), b.d.X.Row(src))
+		b.y[i] = b.d.Y[src]
+	}
+	b.pos = hi
+	return Batch{X: x, Y: b.y[:count]}, true
 }
 
 // Split partitions the dataset into two disjoint parts with the first

@@ -1,0 +1,44 @@
+package engine_test
+
+import (
+	"testing"
+
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+// benchEnv mirrors the golden equivalence workload: 6 clients in two
+// label groups on 1×8×8 synthetic images, MLP(64,20,4), 3 workers.
+func benchEnv(rounds int) *fl.Env {
+	cfg := data.SynthConfig{
+		Name: "bench4", C: 1, H: 8, W: 8, Classes: 4,
+		TrainPerClass: 40, TestPerClass: 16,
+		ClassSep: 0.85, Noise: 1.0, SharedBG: 0.3, Smooth: 1, Seed: 21,
+	}
+	train, test := data.Generate(cfg)
+	clients, _ := fl.BuildGroupClients(train, test,
+		[][]int{{0, 1}, {2, 3}}, []int{3, 3}, rng.New(21))
+	return &fl.Env{
+		Clients: clients,
+		Factory: func(fr *rng.Rng) *nn.Sequential { return nn.MLP(fr, 64, 20, 4) },
+		Rounds:  rounds,
+		Local:   fl.LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1, Momentum: 0.9},
+		Seed:    21,
+		Workers: 3,
+	}
+}
+
+// BenchmarkRoundDriverRound measures one full FedAvg round through the
+// shared engine — participation, parallel local training over the model
+// pool, aggregation, and the final-round personalized evaluation.
+func BenchmarkRoundDriverRound(b *testing.B) {
+	env := benchEnv(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		methods.FedAvg{}.Run(env)
+	}
+}

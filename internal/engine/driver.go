@@ -38,6 +38,11 @@ type ClientCtx struct {
 	// Out is the client's slot in the driver's Locals arena; write the
 	// flattened post-training parameters here.
 	Out []float64
+	// Scratch is the worker's persistent training scratch (optimizer,
+	// loss workspaces, prox buffer), reused across client visits so
+	// steady-state local training allocates nothing. Custom Local hooks
+	// should train through it.
+	Scratch *fl.TrainScratch
 }
 
 // Hooks are the method-specific parts of a round. Aggregate and Served
@@ -125,7 +130,7 @@ func New(env *fl.Env, method string) *RoundDriver {
 	}
 	d.ctxs = make([]*ClientCtx, d.pool.Size())
 	for w := range d.ctxs {
-		d.ctxs[w] = &ClientCtx{Env: env}
+		d.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{}}
 	}
 	d.gatherVecs = make([][]float64, 0, n)
 	d.gatherWs = make([]float64, 0, n)
@@ -144,10 +149,14 @@ func (d *RoundDriver) InitParams() []float64 {
 func (d *RoundDriver) Pool() *ModelPool { return d.pool }
 
 // DefaultLocal is the plain client objective: load the broadcast weights,
-// run local SGD, flatten the trained parameters into the client's slot.
+// run local SGD through the worker's scratch, flatten the trained
+// parameters into the client's slot.
 func DefaultLocal(ctx *ClientCtx) {
+	if ctx.Scratch == nil {
+		ctx.Scratch = &fl.TrainScratch{}
+	}
 	nn.LoadParams(ctx.Model, ctx.Start)
-	fl.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.Env.ClientRng(ctx.Client, ctx.Round))
+	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.Env.ClientRng(ctx.Client, ctx.Round))
 	nn.FlattenParamsInto(ctx.Model, ctx.Out)
 }
 

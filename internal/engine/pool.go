@@ -15,11 +15,12 @@ import (
 //   - Slot w is only ever touched by executor worker w (fl.ParallelForWorker
 //     guarantees worker ids are goroutine-stable), so no locking is needed.
 //   - The environment's Factory must not embed mutable cross-call state
-//     that survives LoadParams — e.g. an nn.Dropout layer's private RNG
-//     stream would advance across pooled reuses where a fresh model would
-//     restart it. The models in nn's zoo (Dense/Conv2D/ReLU/MaxPool2) are
-//     all safe: their only mutable non-parameter state is forward caches
-//     that each Forward call fully overwrites.
+//     that survives LoadParams and changes behaviour. Forward caches and
+//     layer workspaces are safe (every use overwrites them), and
+//     stochastic layers are safe because local training rebases their
+//     streams per visit via nn.Sequential.SeedStep — an nn.Dropout draws
+//     its masks from the visit's (client, round) stream, not a stream
+//     carried across pooled reuses.
 type ModelPool struct {
 	env    *fl.Env
 	models []*nn.Sequential

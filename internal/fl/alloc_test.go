@@ -1,0 +1,121 @@
+//go:build !race
+
+// Steady-state allocation regression tests: the zero-alloc property of
+// the training hot path is a hard acceptance criterion of the workspace
+// refactor and must not silently regress. Excluded under -race because
+// the race runtime instruments allocations.
+
+package fl
+
+import (
+	"testing"
+
+	"fedclust/internal/nn"
+	"fedclust/internal/opt"
+	"fedclust/internal/rng"
+)
+
+// allocModel is small enough that every matmul stays under the tensor
+// package's parallel threshold — the parallel path spawns goroutines,
+// which allocate, and is exercised only for products where that overhead
+// is noise.
+func allocModel() *nn.Sequential {
+	return nn.MLP(rng.New(3), 64, 20, 4)
+}
+
+// TestLocalUpdateBatchStepZeroAllocs asserts a warm LocalUpdate batch
+// step — zero grads, forward, loss, backward, SGD step, next batch —
+// performs zero heap allocations.
+func TestLocalUpdateBatchStepZeroAllocs(t *testing.T) {
+	d := benchDataset(8) // 32 examples; batch 8 divides it evenly
+	model := allocModel()
+	cfg := LocalConfig{Epochs: 1, BatchSize: 8, LR: 0.1, Momentum: 0.9}
+	r := rng.New(5)
+
+	// Warm every workspace: model, loss head, optimizer, batcher.
+	var ts TrainScratch
+	ts.LocalUpdate(model, d, cfg, r)
+
+	params, grads := model.Params(), model.Grads()
+	sgd := opt.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	var ce nn.SoftmaxCE
+	bt := d.Batcher(cfg.BatchSize)
+	bt.Reset(r)
+	step := func() {
+		b, ok := bt.Next()
+		if !ok {
+			bt.Reset(r)
+			b, _ = bt.Next()
+		}
+		for _, g := range grads {
+			g.Zero()
+		}
+		logits := model.Forward(b.X, true)
+		_, grad, _ := ce.Loss(logits, b.Y)
+		model.Backward(grad)
+		sgd.Step(params, grads)
+	}
+	step() // warm this loop's own state (velocity, loss workspaces)
+
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Fatalf("warm LocalUpdate batch step allocates %v times, want 0", n)
+	}
+}
+
+// TestLocalUpdateCallSteadyStateAllocs asserts a whole warm LocalUpdate
+// call through a reused TrainScratch stays allocation-free — the scratch
+// owns the optimizer, loss head, and parameter lists, and the dataset
+// owns its batcher.
+func TestLocalUpdateCallSteadyStateAllocs(t *testing.T) {
+	d := benchDataset(10) // includes a partial final batch (40 % 16 != 0)
+	model := allocModel()
+	cfg := LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	var ts TrainScratch
+	r := rng.New(6)
+	ts.LocalUpdate(model, d, cfg, r)
+	if n := testing.AllocsPerRun(20, func() {
+		ts.LocalUpdate(model, d, cfg, r)
+	}); n != 0 {
+		t.Fatalf("warm LocalUpdate call allocates %v times, want 0", n)
+	}
+}
+
+// TestEvaluateBatchZeroAllocs asserts a warm evaluation batch — forward,
+// loss, accuracy — performs zero heap allocations.
+func TestEvaluateBatchZeroAllocs(t *testing.T) {
+	d := benchDataset(8)
+	model := allocModel()
+	var ce nn.SoftmaxCE
+	EvaluateCE(model, d, 16, &ce) // warm model, loss, batcher
+
+	bt := d.Batcher(16)
+	bt.Reset(nil)
+	step := func() {
+		b, ok := bt.Next()
+		if !ok {
+			bt.Reset(nil)
+			b, _ = bt.Next()
+		}
+		logits := model.Forward(b.X, false)
+		ce.Loss(logits, b.Y)
+		nn.Accuracy(logits, b.Y)
+	}
+	step()
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Fatalf("warm Evaluate batch allocates %v times, want 0", n)
+	}
+}
+
+// TestEvaluateCallSteadyStateAllocs asserts the whole warm EvaluateCE
+// call allocates nothing.
+func TestEvaluateCallSteadyStateAllocs(t *testing.T) {
+	d := benchDataset(10)
+	model := allocModel()
+	var ce nn.SoftmaxCE
+	EvaluateCE(model, d, 16, &ce)
+	if n := testing.AllocsPerRun(20, func() {
+		EvaluateCE(model, d, 16, &ce)
+	}); n != 0 {
+		t.Fatalf("warm EvaluateCE call allocates %v times, want 0", n)
+	}
+}

@@ -1,0 +1,63 @@
+package fl
+
+import (
+	"testing"
+
+	"fedclust/internal/data"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+// benchDataset builds a small synthetic 1×8×8 four-class dataset, the same
+// geometry the golden equivalence workload uses.
+func benchDataset(perClass int) *data.Dataset {
+	train, _ := data.Generate(data.SynthConfig{
+		Name: "bench", C: 1, H: 8, W: 8, Classes: 4,
+		TrainPerClass: perClass, TestPerClass: 4,
+		ClassSep: 0.85, Noise: 1.0, SharedBG: 0.3, Smooth: 1, Seed: 11,
+	})
+	return train
+}
+
+// BenchmarkLocalUpdate measures one client visit: two local epochs of
+// minibatch SGD with momentum on an MLP — the exact inner loop every
+// federated round multiplies by rounds × clients.
+func BenchmarkLocalUpdate(b *testing.B) {
+	d := benchDataset(40)
+	model := nn.MLP(rng.New(1), d.Dim(), 20, d.Classes)
+	cfg := LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	w0 := nn.FlattenParams(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.LoadParams(model, w0)
+		LocalUpdate(model, d, cfg, rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkLocalUpdateLeNet is LocalUpdate on the Table-I convolutional
+// architecture, where im2col and the conv matmuls dominate.
+func BenchmarkLocalUpdateLeNet(b *testing.B) {
+	d := benchDataset(40)
+	model := nn.LeNet5(rng.New(1), d.C, d.H, d.W, d.Classes, 0.5)
+	cfg := LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	w0 := nn.FlattenParams(model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.LoadParams(model, w0)
+		LocalUpdate(model, d, cfg, rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkEvaluate measures one full-dataset evaluation pass (the
+// personalized-evaluation protocol runs this per client per eval round).
+func BenchmarkEvaluate(b *testing.B) {
+	d := benchDataset(40)
+	model := nn.MLP(rng.New(2), d.Dim(), 20, d.Classes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(model, d, 64)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fedclust/internal/nn"
 	"fedclust/internal/opt"
 	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
 )
 
 // Client is one simulated device: an id plus local train and test splits.
@@ -47,34 +48,83 @@ func (c LocalConfig) Validate() {
 	}
 }
 
+// TrainScratch carries the allocation-heavy state of local training — the
+// optimizer (with its velocity buffers), the loss-head workspaces, the
+// FedProx reference buffer, and the model's parameter/gradient lists — so
+// one worker can run many client visits with zero steady-state heap
+// allocations. The zero value is ready to use; a TrainScratch must not be
+// shared across concurrent goroutines.
+type TrainScratch struct {
+	sgd     *opt.SGD
+	ce      nn.SoftmaxCE
+	proxRef []float64
+	// model is the network the params/grads caches below belong to;
+	// pooled execution hands each worker the same model every visit, so
+	// the lists are rebuilt only when the scratch changes models.
+	model  *nn.Sequential
+	params []*tensor.Tensor
+	grads  []*tensor.Tensor
+}
+
+// bind refreshes the cached parameter and gradient lists for model.
+func (ts *TrainScratch) bind(model *nn.Sequential) {
+	if ts.model != model {
+		ts.model = model
+		ts.params = model.Params()
+		ts.grads = model.Grads()
+	}
+}
+
 // LocalUpdate trains model in place on d for cfg.Epochs passes of local
 // SGD and returns the mean training loss over all processed batches.
 // If cfg.ProxMu > 0 the FedProx proximal term is applied against the
 // parameters the model held when LocalUpdate was called (i.e. the global
-// weights just loaded). r drives batch shuffling.
-func LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg LocalConfig, r *rng.Rng) float64 {
+// weights just loaded). r drives batch shuffling and (via
+// nn.Sequential.SeedStep) any stochastic layers, so the result depends
+// only on (model weights, dataset, cfg, r) — never on earlier visits
+// that reused the same model or scratch.
+func (ts *TrainScratch) LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg LocalConfig, r *rng.Rng) float64 {
 	cfg.Validate()
 	if d.Len() == 0 {
 		return 0
 	}
+	ts.bind(model)
+	model.SeedStep(r)
 	var proxRef []float64
 	if cfg.ProxMu > 0 {
-		proxRef = nn.FlattenParams(model)
+		n := model.NumParams()
+		if cap(ts.proxRef) < n {
+			ts.proxRef = make([]float64, n)
+		}
+		proxRef = ts.proxRef[:n]
+		nn.FlattenParamsInto(model, proxRef)
 	}
-	sgd := opt.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	var ce nn.SoftmaxCE
+	if ts.sgd == nil {
+		ts.sgd = opt.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	} else {
+		ts.sgd.Reconfigure(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+		ts.sgd.Reset()
+	}
 	var totalLoss float64
 	batches := 0
+	bt := d.Batcher(cfg.BatchSize)
 	for e := 0; e < cfg.Epochs; e++ {
-		for _, b := range d.Batches(cfg.BatchSize, r) {
-			model.ZeroGrads()
+		bt.Reset(r)
+		for {
+			b, ok := bt.Next()
+			if !ok {
+				break
+			}
+			for _, g := range ts.grads {
+				g.Zero()
+			}
 			logits := model.Forward(b.X, true)
-			loss, grad, _ := ce.Loss(logits, b.Y)
+			loss, grad, _ := ts.ce.Loss(logits, b.Y)
 			model.Backward(grad)
 			if cfg.ProxMu > 0 {
-				opt.AddProximal(model.Params(), model.Grads(), proxRef, cfg.ProxMu)
+				opt.AddProximal(ts.params, ts.grads, proxRef, cfg.ProxMu)
 			}
-			sgd.Step(model.Params(), model.Grads())
+			ts.sgd.Step(ts.params, ts.grads)
 			totalLoss += loss
 			batches++
 		}
@@ -82,16 +132,44 @@ func LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg LocalConfig, r *rng.
 	return totalLoss / float64(batches)
 }
 
+// Evaluate is EvaluateCE through the scratch's loss head, for hooks that
+// interleave evaluation with training on the same worker (e.g. IFCA's
+// per-cluster selection) without per-call workspace allocations.
+func (ts *TrainScratch) Evaluate(model *nn.Sequential, d *data.Dataset, batchSize int) (loss, acc float64) {
+	return EvaluateCE(model, d, batchSize, &ts.ce)
+}
+
+// LocalUpdate is the scratch-free convenience form of
+// TrainScratch.LocalUpdate, for one-shot callers; hot paths (the round
+// engine's DefaultLocal) reuse a per-worker TrainScratch instead.
+func LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg LocalConfig, r *rng.Rng) float64 {
+	var ts TrainScratch
+	return ts.LocalUpdate(model, d, cfg, r)
+}
+
 // Evaluate computes mean cross-entropy loss and accuracy of model on d
 // (evaluation mode, batched to bound memory). Empty datasets return (0, 0).
 func Evaluate(model *nn.Sequential, d *data.Dataset, batchSize int) (loss, acc float64) {
+	var ce nn.SoftmaxCE
+	return EvaluateCE(model, d, batchSize, &ce)
+}
+
+// EvaluateCE is Evaluate with a caller-owned loss head, so evaluation
+// loops (the engine's per-worker evaluation protocol) keep their loss
+// workspaces warm across clients and allocate nothing per batch.
+func EvaluateCE(model *nn.Sequential, d *data.Dataset, batchSize int, ce *nn.SoftmaxCE) (loss, acc float64) {
 	if d.Len() == 0 {
 		return 0, 0
 	}
-	var ce nn.SoftmaxCE
 	var lossSum float64
 	correct := 0
-	for _, b := range d.Batches(batchSize, nil) {
+	bt := d.Batcher(batchSize)
+	bt.Reset(nil)
+	for {
+		b, ok := bt.Next()
+		if !ok {
+			break
+		}
 		logits := model.Forward(b.X, false)
 		l, _, _ := ce.Loss(logits, b.Y)
 		lossSum += l * float64(len(b.Y))

@@ -153,12 +153,15 @@ func (e *Env) EvaluateWith(pick func(worker, clientIdx int) *nn.Sequential) (per
 	perClient = make([]float64, n)
 	losses := make([]float64, n)
 	valid := make([]bool, n)
+	// One loss head per worker keeps the softmax/grad workspaces warm
+	// across the many clients a worker evaluates.
+	ces := make([]nn.SoftmaxCE, e.WorkerCount())
 	e.ParallelClientsWorker(n, func(w, i int) {
 		c := e.Clients[i]
 		if c.Test == nil || c.Test.Len() == 0 {
 			return
 		}
-		l, a := Evaluate(pick(w, i), c.Test, e.EvalBatchSize())
+		l, a := EvaluateCE(pick(w, i), c.Test, e.EvalBatchSize(), &ces[w])
 		perClient[i] = a
 		losses[i] = l
 		valid[i] = true

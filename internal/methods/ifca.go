@@ -56,14 +56,14 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 		best, bestLoss := 0, math.Inf(1)
 		for k := 0; k < f.K; k++ {
 			nn.LoadParams(ctx.Model, models[k])
-			l, _ := fl.Evaluate(ctx.Model, c.Train, 64)
+			l, _ := ctx.Scratch.Evaluate(ctx.Model, c.Train, 64)
 			if l < bestLoss {
 				best, bestLoss = k, l
 			}
 		}
 		choice[ctx.Client] = best
 		nn.LoadParams(ctx.Model, models[best])
-		fl.LocalUpdate(ctx.Model, c.Train, env.Local, env.ClientRng(ctx.Client, ctx.Round))
+		ctx.Scratch.LocalUpdate(ctx.Model, c.Train, env.Local, env.ClientRng(ctx.Client, ctx.Round))
 		nn.FlattenParamsInto(ctx.Model, ctx.Out)
 	}
 	d.Hooks.Aggregate = func(round int, reported []int) {

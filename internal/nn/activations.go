@@ -10,8 +10,9 @@ import (
 
 // ReLU is the rectified linear activation, applied elementwise.
 type ReLU struct {
-	dim  int
-	mask []bool
+	dim     int
+	mask    []bool
+	out, gx ws
 }
 
 // NewReLU builds a ReLU over dim features.
@@ -25,13 +26,16 @@ func (r *ReLU) OutDim() int { return r.dim }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(r.Name(), x, r.dim)
-	out := tensor.New(x.Shape...)
-	r.mask = make([]bool, len(x.Data))
+	checkBatchInput(r, "", x, r.dim)
+	out := r.out.get(x.Shape[0], x.Shape[1])
+	r.mask = growBools(r.mask, len(x.Data))
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
 			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+			r.mask[i] = false
 		}
 	}
 	return out
@@ -42,10 +46,12 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward called before Forward")
 	}
-	gx := tensor.New(gradOut.Shape...)
+	gx := r.gx.get(gradOut.Shape[0], gradOut.Shape[1])
 	for i, v := range gradOut.Data {
 		if r.mask[i] {
 			gx.Data[i] = v
+		} else {
+			gx.Data[i] = 0
 		}
 	}
 	return gx
@@ -60,8 +66,9 @@ func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 // Tanh is the hyperbolic tangent activation (LeNet-5's classic
 // nonlinearity), applied elementwise.
 type Tanh struct {
-	dim int
-	y   *tensor.Tensor
+	dim     int
+	y       *tensor.Tensor
+	out, gx ws
 }
 
 // NewTanh builds a Tanh over dim features.
@@ -75,8 +82,8 @@ func (t *Tanh) OutDim() int { return t.dim }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(t.Name(), x, t.dim)
-	out := tensor.New(x.Shape...)
+	checkBatchInput(t, "", x, t.dim)
+	out := t.out.get(x.Shape[0], x.Shape[1])
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -89,7 +96,7 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if t.y == nil {
 		panic("nn: Tanh.Backward called before Forward")
 	}
-	gx := tensor.New(gradOut.Shape...)
+	gx := t.gx.get(gradOut.Shape[0], gradOut.Shape[1])
 	for i, v := range gradOut.Data {
 		y := t.y.Data[i]
 		gx.Data[i] = v * (1 - y*y)
@@ -106,11 +113,21 @@ func (t *Tanh) Grads() []*tensor.Tensor { return nil }
 // Dropout zeroes activations with probability P during training and
 // rescales the survivors by 1/(1-P) (inverted dropout); it is the identity
 // at evaluation time.
+//
+// Dropout implements StepSeeded: its mask stream should be rebased from
+// the training step's RNG (fl local training does this through
+// Sequential.SeedStep), so its behaviour depends only on the (client,
+// round) stream, not on how many times the model instance was used
+// before — the property pooled model reuse relies on (DESIGN.md §5,
+// model-pool invariant 3). The constructor stream is only a fallback for
+// standalone use.
 type Dropout struct {
-	dim  int
-	P    float64
-	rng  *rng.Rng
-	mask []bool
+	dim     int
+	P       float64
+	rng     *rng.Rng
+	mask    []bool
+	active  bool // true when the last Forward was a training pass
+	out, gx ws
 }
 
 // NewDropout builds a Dropout layer with drop probability p in [0, 1).
@@ -127,20 +144,27 @@ func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.P) }
 // OutDim implements Layer.
 func (d *Dropout) OutDim() int { return d.dim }
 
+// SeedStep implements StepSeeded: subsequent masks are drawn from r.
+func (d *Dropout) SeedStep(r *rng.Rng) { d.rng = r }
+
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(d.Name(), x, d.dim)
+	checkBatchInput(d, "", x, d.dim)
 	if !train || d.P == 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
-	out := tensor.New(x.Shape...)
-	d.mask = make([]bool, len(x.Data))
+	out := d.out.get(x.Shape[0], x.Shape[1])
+	d.mask = growBools(d.mask, len(x.Data))
+	d.active = true
 	scale := 1 / (1 - d.P)
 	for i, v := range x.Data {
 		if d.rng.Float64() >= d.P {
 			d.mask[i] = true
 			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = false
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -148,14 +172,16 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if d.mask == nil {
+	if !d.active {
 		return gradOut // eval-mode identity
 	}
-	gx := tensor.New(gradOut.Shape...)
+	gx := d.gx.get(gradOut.Shape[0], gradOut.Shape[1])
 	scale := 1 / (1 - d.P)
 	for i, v := range gradOut.Data {
 		if d.mask[i] {
 			gx.Data[i] = v * scale
+		} else {
+			gx.Data[i] = 0
 		}
 	}
 	return gx

@@ -24,7 +24,9 @@ func TestBatchForwardMatchesPerSample(t *testing.T) {
 		for i := range batch.Data {
 			batch.Data[i] = r.NormFloat64()
 		}
-		full := net.Forward(batch, false)
+		// Clone: Forward returns a reused workspace, invalidated by the
+		// per-sample forwards below.
+		full := net.Forward(batch, false).Clone()
 		for s := 0; s < 5; s++ {
 			single := tensor.New(1, dim)
 			copy(single.Data, batch.Row(s))

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"testing"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Per-layer micro-benchmarks for the training hot path. Forward-only and
+// Forward+Backward variants are separate so the backward cost can be read
+// off by subtraction; all report allocations because the steady-state
+// training step is required to perform none (see alloc_test.go).
+
+func randBatch(r *rng.Rng, batch, dim int) *tensor.Tensor {
+	x := tensor.New(batch, dim)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	r := rng.New(1)
+	d := NewDense(256, 128, r)
+	x := randBatch(r, 32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Forward(x, true)
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	r := rng.New(1)
+	d := NewDense(256, 128, r)
+	x := randBatch(r, 32, 256)
+	gy := randBatch(r, 32, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Forward(x, true)
+		_ = d.Backward(gy)
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	r := rng.New(2)
+	g := tensor.ConvGeom{InC: 3, InH: 16, InW: 16, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c := NewConv2D(g, 8, r)
+	x := randBatch(r, 16, 3*16*16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Forward(x, true)
+	}
+}
+
+func BenchmarkConv2DForwardBackward(b *testing.B) {
+	r := rng.New(2)
+	g := tensor.ConvGeom{InC: 3, InH: 16, InW: 16, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	c := NewConv2D(g, 8, r)
+	x := randBatch(r, 16, 3*16*16)
+	gy := randBatch(r, 16, c.OutDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Forward(x, true)
+		_ = c.Backward(gy)
+	}
+}
+
+func BenchmarkReLUForwardBackward(b *testing.B) {
+	r := rng.New(3)
+	l := NewReLU(4096)
+	x := randBatch(r, 32, 4096)
+	gy := randBatch(r, 32, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Forward(x, true)
+		_ = l.Backward(gy)
+	}
+}
+
+func BenchmarkMaxPool2ForwardBackward(b *testing.B) {
+	r := rng.New(4)
+	p := NewMaxPool2(8, 16, 16)
+	x := randBatch(r, 32, 8*16*16)
+	gy := randBatch(r, 32, p.OutDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Forward(x, true)
+		_ = p.Backward(gy)
+	}
+}

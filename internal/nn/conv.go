@@ -8,15 +8,25 @@ import (
 )
 
 // Conv2D is a 2-D convolution over flattened CHW inputs, implemented as a
-// batched im2col + one large parallel matrix multiply.
+// batched im2col + one large parallel matrix multiply. All intermediate
+// matrices live in persistent per-layer workspaces, so a steady-state
+// training step allocates nothing. Backward reuses the im2col workspace
+// for the column gradient, which means Backward may be called at most
+// once per Forward (the Layer contract already requires the matching
+// Forward cache).
 type Conv2D struct {
 	Geom   tensor.ConvGeom
 	OutC   int
 	W      *tensor.Tensor // (OutC, InC*KH*KW)
 	B      *tensor.Tensor // (OutC)
 	gw, gb *tensor.Tensor
-	cols   *tensor.Tensor // cached (batch*outHW, rowLen) unrolled input
 	batch  int
+
+	cols  ws // (batch*outHW, rowLen) unrolled input; reused as gcols in Backward
+	mm    ws // pixel-major matmul output y in Forward, de-interleaved gy in Backward
+	out   ws // channel-major forward output (batch, OutC*outHW)
+	gwTmp ws // per-call weight gradient, accumulated into gw
+	gx    ws // input gradient (batch, InC*InH*InW)
 }
 
 // NewConv2D constructs a convolution with He initialization.
@@ -50,23 +60,22 @@ func (c *Conv2D) OutDim() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
 
 // Forward implements Layer. The output feature axis is channel-major CHW.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(c.Name(), x, c.InDim())
+	checkBatchInput(c, "", x, c.InDim())
 	batch := x.Shape[0]
 	c.batch = batch
 	outHW := c.Geom.OutH() * c.Geom.OutW()
 	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
 	// Unroll the whole batch into one tall matrix so a single parallel
 	// matmul does all the arithmetic.
-	cols := tensor.New(batch*outHW, rowLen)
+	cols := c.cols.get(batch*outHW, rowLen)
 	for b := 0; b < batch; b++ {
-		sub := tensor.FromSlice(cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], outHW, rowLen)
-		tensor.Im2Col(x.Row(b), c.Geom, sub)
+		tensor.Im2ColInto(x.Row(b), c.Geom, cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen])
 	}
-	c.cols = cols
-	// (batch*outHW, rowLen) · (rowLen, OutC) → (batch*outHW, OutC)
-	y := tensor.MatMul(cols, tensor.Transpose(c.W))
+	// (batch*outHW, rowLen) · (OutC, rowLen)ᵀ → (batch*outHW, OutC)
+	y := c.mm.get(batch*outHW, c.OutC)
+	tensor.MatMulTransBInto(y, cols, c.W)
 	// Reorder to channel-major (batch, OutC*outHW) and add bias.
-	out := tensor.New(batch, c.OutC*outHW)
+	out := c.out.get(batch, c.OutC*outHW)
 	for b := 0; b < batch; b++ {
 		dst := out.Row(b)
 		for p := 0; p < outHW; p++ {
@@ -81,15 +90,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if c.cols == nil {
+	if c.batch == 0 {
 		panic("nn: Conv2D.Backward called before Forward")
 	}
-	checkBatchInput(c.Name()+" backward", gradOut, c.OutDim())
+	checkBatchInput(c, " backward", gradOut, c.OutDim())
 	batch := c.batch
 	outHW := c.Geom.OutH() * c.Geom.OutW()
 	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	cols := c.cols.get(batch*outHW, rowLen) // forward's unrolled input
 	// De-interleave gradOut back to pixel-major (batch*outHW, OutC).
-	gy := tensor.New(batch*outHW, c.OutC)
+	gy := c.mm.get(batch*outHW, c.OutC)
 	for b := 0; b < batch; b++ {
 		src := gradOut.Row(b)
 		for p := 0; p < outHW; p++ {
@@ -100,7 +110,8 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// gW += gyᵀ·cols (OutC, rowLen); gB += column sums of gy.
-	gw := tensor.MatMul(tensor.Transpose(gy), c.cols)
+	gw := c.gwTmp.get(c.OutC, rowLen)
+	tensor.MatMulTransAInto(gw, gy, cols)
 	c.gw.AddScaled(gw, 1)
 	for i := 0; i < gy.Shape[0]; i++ {
 		row := gy.Row(i)
@@ -108,12 +119,14 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			c.gb.Data[ch] += v
 		}
 	}
-	// gcols = gy·W (batch*outHW, rowLen); scatter back with col2im.
-	gcols := tensor.MatMul(gy, c.W)
-	gx := tensor.New(batch, c.InDim())
+	// gcols = gy·W (batch*outHW, rowLen), overwriting the cols workspace
+	// (the unrolled input is no longer needed once gw is accumulated);
+	// scatter back with col2im.
+	tensor.MatMulInto(cols, gy, c.W)
+	gx := c.gx.get(batch, c.InDim())
+	gx.Zero()
 	for b := 0; b < batch; b++ {
-		sub := tensor.FromSlice(gcols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], outHW, rowLen)
-		tensor.Col2Im(sub, c.Geom, gx.Row(b))
+		tensor.Col2ImInto(cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], c.Geom, gx.Row(b))
 	}
 	return gx
 }
@@ -129,6 +142,7 @@ type MaxPool2 struct {
 	C, H, W int
 	argmax  []int // flat input index of each output element's max
 	batch   int
+	out, gx ws
 }
 
 // NewMaxPool2 builds the layer for the given input volume. H and W must be
@@ -154,12 +168,12 @@ func (p *MaxPool2) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
 
 // Forward implements Layer.
 func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(p.Name(), x, p.InDim())
+	checkBatchInput(p, "", x, p.InDim())
 	batch := x.Shape[0]
 	p.batch = batch
 	oh, ow := p.H/2, p.W/2
-	out := tensor.New(batch, p.OutDim())
-	p.argmax = make([]int, batch*p.OutDim())
+	out := p.out.get(batch, p.OutDim())
+	p.argmax = growInts(p.argmax, batch*p.OutDim())
 	for b := 0; b < batch; b++ {
 		in := x.Row(b)
 		dst := out.Row(b)
@@ -197,8 +211,9 @@ func (p *MaxPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if p.argmax == nil {
 		panic("nn: MaxPool2.Backward called before Forward")
 	}
-	checkBatchInput(p.Name()+" backward", gradOut, p.OutDim())
-	gx := tensor.New(p.batch, p.InDim())
+	checkBatchInput(p, " backward", gradOut, p.OutDim())
+	gx := p.gx.get(p.batch, p.InDim())
+	gx.Zero()
 	for b := 0; b < p.batch; b++ {
 		src := gradOut.Row(b)
 		dst := gx.Row(b)

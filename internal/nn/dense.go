@@ -7,13 +7,20 @@ import (
 	"fedclust/internal/tensor"
 )
 
-// Dense is a fully connected layer: y = x·Wᵀ + b.
+// Dense is a fully connected layer: y = x·Wᵀ + b. Forward and Backward
+// write into persistent per-layer workspaces (out, gwTmp, gx), so a
+// steady-state training step allocates nothing; returned tensors are
+// valid only until the layer's next Forward/Backward call.
 type Dense struct {
 	In, Out int
 	W       *tensor.Tensor // (Out, In)
 	B       *tensor.Tensor // (Out)
 	gw, gb  *tensor.Tensor
 	x       *tensor.Tensor // cached input for backward
+
+	out   ws // forward output (batch, Out)
+	gwTmp ws // per-call weight gradient, accumulated into gw
+	gx    ws // input gradient (batch, In)
 }
 
 // NewDense constructs a Dense layer with He initialization.
@@ -38,13 +45,14 @@ func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out
 // OutDim implements Layer.
 func (d *Dense) OutDim() int { return d.Out }
 
-// Forward implements Layer: y = x·Wᵀ + b over the batch.
+// Forward implements Layer: y = x·Wᵀ + b over the batch, reading W in
+// place via the transposed-operand kernel.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(d.Name(), x, d.In)
+	checkBatchInput(d, "", x, d.In)
 	d.x = x
-	wt := tensor.Transpose(d.W)
-	y := tensor.MatMul(x, wt)
 	batch := x.Shape[0]
+	y := d.out.get(batch, d.Out)
+	tensor.MatMulTransBInto(y, x, d.W)
 	for i := 0; i < batch; i++ {
 		row := y.Row(i)
 		for j := range row {
@@ -59,9 +67,10 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic("nn: Dense.Backward called before Forward")
 	}
-	checkBatchInput(d.Name()+" backward", gradOut, d.Out)
+	checkBatchInput(d, " backward", gradOut, d.Out)
 	// gW += gyᵀ·x ; gb += column sums of gy ; gx = gy·W
-	gw := tensor.MatMul(tensor.Transpose(gradOut), d.x)
+	gw := d.gwTmp.get(d.Out, d.In)
+	tensor.MatMulTransAInto(gw, gradOut, d.x)
 	d.gw.AddScaled(gw, 1)
 	batch := gradOut.Shape[0]
 	for i := 0; i < batch; i++ {
@@ -70,7 +79,9 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			d.gb.Data[j] += v
 		}
 	}
-	return tensor.MatMul(gradOut, d.W)
+	gx := d.gx.get(batch, d.In)
+	tensor.MatMulInto(gx, gradOut, d.W)
+	return gx
 }
 
 // Params implements Layer.

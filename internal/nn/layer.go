@@ -12,10 +12,30 @@ package nn
 import (
 	"fmt"
 
+	"fedclust/internal/rng"
 	"fedclust/internal/tensor"
 )
 
+// StepSeeded is the optional interface of layers whose stochastic
+// training-time behaviour (e.g. Dropout's masks) must be driven by the
+// training step's RNG rather than a stream carried across the layer's
+// lifetime. Rebasing the stream per local-training call makes a pooled,
+// reused model behave identically to a freshly built one — model-pool
+// invariant 3 in DESIGN.md §5.
+type StepSeeded interface {
+	// SeedStep rebases the layer's stochastic stream on r.
+	SeedStep(r *rng.Rng)
+}
+
 // Layer is one differentiable stage of a network.
+//
+// Workspace contract: Forward and Backward return tensors backed by
+// workspaces the layer owns and reuses, so a steady-state training step
+// performs no heap allocations. A returned tensor is valid only until
+// the layer's next Forward or Backward call; callers that need a result
+// to survive (tests, feature extraction) must Clone it. Workspaces are
+// sized lazily to the incoming batch and resized on shape changes (the
+// partial final batch, train/eval alternation) while retaining storage.
 type Layer interface {
 	// Name identifies the layer kind and shape, e.g. "conv5x5(3→6)".
 	Name() string
@@ -24,7 +44,9 @@ type Layer interface {
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward consumes dL/d(output) and returns dL/d(input),
 	// accumulating parameter gradients internally. It must be called
-	// after Forward with the matching activation still cached.
+	// after Forward with the matching activation still cached, and may
+	// invalidate that cache (Conv2D reuses its im2col workspace for the
+	// column gradient), so call it at most once per Forward.
 	Backward(gradOut *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's parameter tensors (possibly empty).
 	// Callers may mutate the contents (that is how aggregation loads
@@ -87,6 +109,19 @@ func (s *Sequential) ZeroGrads() {
 	}
 }
 
+// SeedStep derives one independent stream per StepSeeded layer from r
+// (keyed by layer position; r itself is not advanced) and rebases the
+// layer on it. Local training calls this once per client visit so
+// stochastic layers depend only on the visit's (client, round) stream,
+// never on how often the model instance was reused.
+func (s *Sequential) SeedStep(r *rng.Rng) {
+	for i, l := range s.Layers {
+		if ss, ok := l.(StepSeeded); ok {
+			ss.SeedStep(r.Derive(0xd809, uint64(i)))
+		}
+	}
+}
+
 // NumParams returns the total number of scalar parameters.
 func (s *Sequential) NumParams() int {
 	n := 0
@@ -109,12 +144,15 @@ func (s *Sequential) String() string {
 }
 
 // checkBatchInput panics unless x is rank-2 with the expected feature
-// width; layers use it to give actionable shape errors.
-func checkBatchInput(name string, x *tensor.Tensor, inDim int) {
+// width; layers use it to give actionable shape errors. It takes the
+// layer rather than its name so Name()'s formatting runs only on failure
+// (the happy path is per-batch-step and must not allocate). stage is ""
+// for Forward, " backward" for Backward.
+func checkBatchInput(l Layer, stage string, x *tensor.Tensor, inDim int) {
 	if len(x.Shape) != 2 {
-		panic(fmt.Sprintf("nn: %s expects (batch, features) input, got %v", name, x.Shape))
+		panic(fmt.Sprintf("nn: %s%s expects (batch, features) input, got %v", l.Name(), stage, x.Shape))
 	}
 	if x.Shape[1] != inDim {
-		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", name, inDim, x.Shape[1]))
+		panic(fmt.Sprintf("nn: %s%s expects %d input features, got %d", l.Name(), stage, inDim, x.Shape[1]))
 	}
 }

@@ -11,13 +11,20 @@ import (
 // standard classification head. It is not a Layer: it terminates the
 // network and produces both the scalar loss and the gradient that seeds
 // backprop.
-type SoftmaxCE struct{}
+//
+// The zero value is ready to use. Loss writes into workspaces owned by
+// the receiver, so the returned grad and probs tensors are valid only
+// until the next Loss call, and a SoftmaxCE must not be copied after
+// first use or shared across goroutines.
+type SoftmaxCE struct {
+	gradWS, probsWS ws
+}
 
 // Loss computes mean cross-entropy over the batch given raw logits
 // (batch, classes) and integer labels, returning the loss, the gradient
 // with respect to the logits (already divided by batch size), and the
 // softmax probabilities.
-func (SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad, probs *tensor.Tensor) {
+func (ce *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad, probs *tensor.Tensor) {
 	if len(logits.Shape) != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCE expects (batch, classes) logits, got %v", logits.Shape))
 	}
@@ -25,8 +32,8 @@ func (SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad, 
 	if len(labels) != batch {
 		panic(fmt.Sprintf("nn: SoftmaxCE got %d labels for batch of %d", len(labels), batch))
 	}
-	probs = tensor.New(batch, classes)
-	grad = tensor.New(batch, classes)
+	probs = ce.probsWS.get(batch, classes)
+	grad = ce.gradWS.get(batch, classes)
 	invB := 1 / float64(batch)
 	for b := 0; b < batch; b++ {
 		row := logits.Row(b)

@@ -13,6 +13,7 @@ import (
 type AvgPool2 struct {
 	C, H, W int
 	batch   int
+	out, gx ws
 }
 
 // NewAvgPool2 builds the layer for the given input volume (even H, W).
@@ -37,11 +38,11 @@ func (p *AvgPool2) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
 
 // Forward implements Layer.
 func (p *AvgPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(p.Name(), x, p.InDim())
+	checkBatchInput(p, "", x, p.InDim())
 	batch := x.Shape[0]
 	p.batch = batch
 	oh, ow := p.H/2, p.W/2
-	out := tensor.New(batch, p.OutDim())
+	out := p.out.get(batch, p.OutDim())
 	for b := 0; b < batch; b++ {
 		in := x.Row(b)
 		dst := out.Row(b)
@@ -65,9 +66,10 @@ func (p *AvgPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if p.batch == 0 {
 		panic("nn: AvgPool2.Backward called before Forward")
 	}
-	checkBatchInput(p.Name()+" backward", gradOut, p.OutDim())
+	checkBatchInput(p, " backward", gradOut, p.OutDim())
 	oh, ow := p.H/2, p.W/2
-	gx := tensor.New(p.batch, p.InDim())
+	gx := p.gx.get(p.batch, p.InDim())
+	gx.Zero()
 	for b := 0; b < p.batch; b++ {
 		src := gradOut.Row(b)
 		dst := gx.Row(b)
@@ -97,8 +99,9 @@ func (p *AvgPool2) Grads() []*tensor.Tensor { return nil }
 
 // Sigmoid is the logistic activation, applied elementwise.
 type Sigmoid struct {
-	dim int
-	y   *tensor.Tensor
+	dim     int
+	y       *tensor.Tensor
+	out, gx ws
 }
 
 // NewSigmoid builds a Sigmoid over dim features.
@@ -112,8 +115,8 @@ func (s *Sigmoid) OutDim() int { return s.dim }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkBatchInput(s.Name(), x, s.dim)
-	out := tensor.New(x.Shape...)
+	checkBatchInput(s, "", x, s.dim)
+	out := s.out.get(x.Shape[0], x.Shape[1])
 	for i, v := range x.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -126,7 +129,7 @@ func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if s.y == nil {
 		panic("nn: Sigmoid.Backward called before Forward")
 	}
-	gx := tensor.New(gradOut.Shape...)
+	gx := s.gx.get(gradOut.Shape[0], gradOut.Shape[1])
 	for i, v := range gradOut.Data {
 		y := s.y.Data[i]
 		gx.Data[i] = v * y * (1 - y)

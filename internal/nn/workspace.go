@@ -1,0 +1,54 @@
+package nn
+
+import "fedclust/internal/tensor"
+
+// ws is a lazily sized rank-2 tensor workspace owned by a layer (or the
+// loss head). get returns a (rows, cols) tensor backed by grow-only
+// storage; the two most recent shape headers are cached so the steady
+// training cadence — full batches alternating with the partial final
+// batch, or train batches alternating with eval batches — allocates
+// nothing once warm.
+//
+// Tensors returned by get alias the same storage: only the most recent
+// one is valid, and its contents are unspecified (the caller must
+// overwrite every element or Zero it first). This is the buffer contract
+// behind the layer workspace rules in DESIGN.md §5.
+type ws struct {
+	buf       []float64
+	cur, prev *tensor.Tensor
+}
+
+// get returns the (rows, cols) workspace tensor, reusing storage and
+// headers whenever possible.
+func (w *ws) get(rows, cols int) *tensor.Tensor {
+	if w.cur != nil && w.cur.Shape[0] == rows && w.cur.Shape[1] == cols {
+		return w.cur
+	}
+	if w.prev != nil && w.prev.Shape[0] == rows && w.prev.Shape[1] == cols {
+		w.cur, w.prev = w.prev, w.cur
+		return w.cur
+	}
+	need := rows * cols
+	if cap(w.buf) < need {
+		w.buf = make([]float64, need)
+	}
+	w.prev, w.cur = w.cur, tensor.FromSlice(w.buf[:need:need], rows, cols)
+	return w.cur
+}
+
+// growBools returns a length-n bool scratch reusing s when capacity
+// allows. Contents are unspecified; the caller must write every element.
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+// growInts is growBools for int scratch slices.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}

@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// freshVsReused runs the same forward (and optionally backward) schedule
+// on a reused net and on a per-step fresh net, comparing outputs exactly.
+// It is the core property of the workspace refactor: batch-shape changes
+// must leave no residue.
+func assertForwardMatchesFresh(t *testing.T, build func() *Sequential, dim int, batches []int) {
+	t.Helper()
+	r := rng.New(42)
+	inputs := make([]*tensor.Tensor, len(batches))
+	for i, b := range batches {
+		inputs[i] = randInput(r, b, dim)
+	}
+	reused := build()
+	for i, x := range inputs {
+		got := reused.Forward(x, true)
+		fresh := build()
+		want := fresh.Forward(x, true)
+		for j := range want.Data {
+			if got.Data[j] != want.Data[j] {
+				t.Fatalf("step %d (batch %d): reused workspaces diverge from fresh net", i, x.Shape[0])
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossBatchShapes drives every layer kind through the
+// shapes the training loop produces: full batches, the partial final
+// batch, batch size 1, and back to full.
+func TestWorkspaceReuseAcrossBatchShapes(t *testing.T) {
+	shapes := []int{8, 3, 1, 8, 5, 8}
+	t.Run("mlp", func(t *testing.T) {
+		assertForwardMatchesFresh(t, func() *Sequential { return MLP(rng.New(7), 12, 9, 4) }, 12, shapes)
+	})
+	t.Run("lenet", func(t *testing.T) {
+		assertForwardMatchesFresh(t, func() *Sequential { return LeNet5(rng.New(7), 1, 12, 12, 4, 0.25) }, 144, shapes)
+	})
+	t.Run("classic-stack", func(t *testing.T) {
+		build := func() *Sequential {
+			r := rng.New(7)
+			g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+			conv := NewConv2D(g, 2, r)
+			pool := NewAvgPool2(2, 8, 8)
+			return NewSequential(conv, NewTanh(conv.OutDim()), pool,
+				NewDense(pool.OutDim(), 3, r), NewSigmoid(3))
+		}
+		assertForwardMatchesFresh(t, build, 64, shapes)
+	})
+}
+
+// TestBackwardReuseAcrossBatchShapes checks that gradients accumulated
+// through reused workspaces match a fresh net exactly as batch shapes
+// vary (including the partial final batch and batch size 1).
+func TestBackwardReuseAcrossBatchShapes(t *testing.T) {
+	r := rng.New(9)
+	reused := LeNet5(rng.New(8), 1, 12, 12, 4, 0.25)
+	var ceR SoftmaxCE
+	for _, batch := range []int{8, 3, 1, 8} {
+		x := randInput(r, batch, 144)
+		labels := make([]int, batch)
+		for i := range labels {
+			labels[i] = i % 4
+		}
+		reused.ZeroGrads()
+		_, gradR, _ := ceR.Loss(reused.Forward(x, true), labels)
+		reused.Backward(gradR)
+		got := FlattenGrads(reused)
+
+		fresh := LeNet5(rng.New(8), 1, 12, 12, 4, 0.25)
+		var ceF SoftmaxCE
+		fresh.ZeroGrads()
+		_, gradF, _ := ceF.Loss(fresh.Forward(x, true), labels)
+		fresh.Backward(gradF)
+		want := FlattenGrads(fresh)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: gradient %d = %v, want %v", batch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAlternatingTrainEvalOnSameModel interleaves eval-mode forwards
+// (a different batch size, as the engine's evaluation protocol does on
+// pooled models) with training steps and verifies the training result is
+// unaffected — eval passes may share workspaces but must not perturb
+// training state.
+func TestAlternatingTrainEvalOnSameModel(t *testing.T) {
+	r := rng.New(10)
+	xTrain := randInput(r, 6, 12)
+	xEval := randInput(r, 13, 12)
+	labels := []int{0, 1, 2, 3, 0, 1}
+
+	step := func(net *Sequential, ce *SoftmaxCE, withEval bool) {
+		if withEval {
+			net.Forward(xEval, false)
+		}
+		net.ZeroGrads()
+		_, grad, _ := ce.Loss(net.Forward(xTrain, true), labels)
+		net.Backward(grad)
+		params, grads := net.Params(), net.Grads()
+		for i := range params {
+			params[i].AddScaled(grads[i], -0.1)
+		}
+	}
+
+	plain := MLP(rng.New(11), 12, 9, 4)
+	interleaved := MLP(rng.New(11), 12, 9, 4)
+	var ceP, ceI SoftmaxCE
+	for i := 0; i < 4; i++ {
+		step(plain, &ceP, false)
+		step(interleaved, &ceI, true)
+	}
+	a, b := FlattenParams(plain), FlattenParams(interleaved)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("interleaved eval forwards changed the training trajectory")
+		}
+	}
+}
+
+// TestSeedStepMakesDropoutVisitDeterministic is the model-pool invariant-3
+// fix: after SeedStep with the same stream, a model that was previously
+// used for other work must produce the same dropout masks — and hence the
+// same outputs — as a freshly built model.
+func TestSeedStepMakesDropoutVisitDeterministic(t *testing.T) {
+	build := func() *Sequential {
+		r := rng.New(12)
+		return NewSequential(NewDense(10, 8, r), NewDropout(8, 0.5, r.Derive(1)), NewDense(8, 3, r))
+	}
+	r := rng.New(13)
+	x := randInput(r, 4, 10)
+
+	fresh := build()
+	fresh.SeedStep(rng.New(99))
+	want := fresh.Forward(x, true).Clone()
+
+	pooled := build()
+	// Simulate a previous visit that advanced the dropout stream.
+	pooled.SeedStep(rng.New(1234))
+	for i := 0; i < 3; i++ {
+		pooled.Forward(x, true)
+	}
+	// Rebasing on the visit stream must erase that history.
+	pooled.SeedStep(rng.New(99))
+	got := pooled.Forward(x, true)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("pooled model with SeedStep diverges from fresh model")
+		}
+	}
+}
+
+// TestSeedStepDoesNotDisturbParent verifies SeedStep derives without
+// advancing the caller's stream (LocalUpdate relies on this: batch
+// shuffling must be unchanged for dropout-free models).
+func TestSeedStepDoesNotDisturbParent(t *testing.T) {
+	net := NewSequential(NewDropout(4, 0.2, rng.New(1)))
+	a, b := rng.New(55), rng.New(55)
+	net.SeedStep(a)
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SeedStep advanced the parent stream")
+		}
+	}
+}
+
+// TestDropoutEvalAfterTrainIsIdentity guards the active-flag bookkeeping:
+// an eval forward after a train forward must behave as the identity in
+// both directions even though a stale mask exists.
+func TestDropoutEvalAfterTrainIsIdentity(t *testing.T) {
+	d := NewDropout(4, 0.5, rng.New(3))
+	xTrain := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	d.Forward(xTrain, true)
+	x := tensor.FromSlice([]float64{5, 6, 7, 8}, 1, 4)
+	y := d.Forward(x, false)
+	g := d.Backward(x)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] || g.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout after training pass is not the identity")
+		}
+	}
+}
+
+// TestSoftmaxCEWorkspaceReuse verifies the loss head's reused workspaces
+// produce identical results across changing batch shapes.
+func TestSoftmaxCEWorkspaceReuse(t *testing.T) {
+	r := rng.New(14)
+	var reused SoftmaxCE
+	for _, batch := range []int{6, 2, 1, 6} {
+		logits := randInput(r, batch, 5)
+		labels := make([]int, batch)
+		for i := range labels {
+			labels[i] = i % 5
+		}
+		l1, g1, p1 := reused.Loss(logits, labels)
+		var fresh SoftmaxCE
+		l2, g2, p2 := fresh.Loss(logits, labels)
+		if l1 != l2 {
+			t.Fatalf("batch %d: loss %v != %v", batch, l1, l2)
+		}
+		for i := range g2.Data {
+			if g1.Data[i] != g2.Data[i] || p1.Data[i] != p2.Data[i] {
+				t.Fatalf("batch %d: reused loss workspaces diverge", batch)
+			}
+		}
+	}
+}
+
+// TestGradCheckAfterShapeChurn reruns a gradient check after the
+// workspaces have been resized by mixed batch shapes, ensuring resize
+// paths keep backward math correct (the gradcheck suite itself runs each
+// net on a single shape).
+func TestGradCheckAfterShapeChurn(t *testing.T) {
+	r := rng.New(15)
+	net := LeNet5(r, 1, 12, 12, 3, 0.25)
+	for _, batch := range []int{5, 2, 7} {
+		net.Forward(randInput(r, batch, 144), true)
+	}
+	checkGradients(t, net, randInput(r, 2, 144), []int{0, 2})
+	if math.IsNaN(FlattenGrads(net)[0]) {
+		t.Fatal("NaN gradient after shape churn")
+	}
+}

@@ -21,6 +21,15 @@ type SGD struct {
 // NewSGD constructs an SGD optimizer. lr must be positive; momentum and
 // weightDecay must be non-negative (momentum < 1).
 func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{}
+	s.Reconfigure(lr, momentum, weightDecay)
+	return s
+}
+
+// Reconfigure updates the hyper-parameters in place with NewSGD's
+// validation, keeping any velocity buffers — reusable optimizer state is
+// what lets a worker serve many client visits without reallocating.
+func (s *SGD) Reconfigure(lr, momentum, weightDecay float64) {
 	if lr <= 0 {
 		panic(fmt.Sprintf("opt: learning rate must be positive, got %v", lr))
 	}
@@ -30,7 +39,7 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 	if weightDecay < 0 {
 		panic(fmt.Sprintf("opt: weight decay must be non-negative, got %v", weightDecay))
 	}
-	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+	s.LR, s.Momentum, s.WeightDecay = lr, momentum, weightDecay
 }
 
 // Step applies one update to params given aligned grads:
@@ -42,7 +51,7 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 	if len(params) != len(grads) {
 		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))
 	}
-	if s.Momentum > 0 && s.velocity == nil {
+	if s.Momentum > 0 && (s.velocity == nil || len(s.velocity) != len(params)) {
 		s.velocity = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
 			s.velocity[i] = tensor.New(p.Shape...)
@@ -55,6 +64,10 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 		}
 		if s.Momentum > 0 {
 			v := s.velocity[i]
+			if !v.SameShape(p) {
+				v = tensor.New(p.Shape...)
+				s.velocity[i] = v
+			}
 			for j := range p.Data {
 				eff := g.Data[j] + s.WeightDecay*p.Data[j]
 				v.Data[j] = s.Momentum*v.Data[j] + eff
@@ -70,8 +83,14 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 }
 
 // Reset clears momentum state (used when a client restarts local training
-// from freshly loaded global weights).
-func (s *SGD) Reset() { s.velocity = nil }
+// from freshly loaded global weights). The velocity buffers are zeroed in
+// place rather than dropped, so a reset-and-reuse cycle allocates nothing
+// and is bit-equivalent to a fresh optimizer.
+func (s *SGD) Reset() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+}
 
 // AddProximal adds the FedProx proximal gradient μ·(w - w_ref) to grads,
 // where ref is the flat global parameter vector the round started from.

@@ -34,18 +34,30 @@ func (g ConvGeom) Validate() {
 // result is the receptive field of one output pixel, so convolution becomes
 // cols · Wᵀ. cols must have exactly that shape.
 func Im2Col(img []float64, g ConvGeom, cols *Tensor) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if cols.Shape[0] != outH*outW || cols.Shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Im2Col cols shape %v, want [%d %d]", cols.Shape, outH*outW, rowLen))
+	}
+	Im2ColInto(img, g, cols.Data)
+}
+
+// Im2ColInto is Im2Col writing into a flat destination slice of length
+// exactly OutH*OutW × InC*KH*KW — the allocation-free form layers use to
+// unroll each image of a batch into its slice of a shared workspace.
+func Im2ColInto(img []float64, g ConvGeom, dst []float64) {
 	g.Validate()
 	outH, outW := g.OutH(), g.OutW()
 	rowLen := g.InC * g.KH * g.KW
 	if len(img) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), g.InC*g.InH*g.InW))
 	}
-	if cols.Shape[0] != outH*outW || cols.Shape[1] != rowLen {
-		panic(fmt.Sprintf("tensor: Im2Col cols shape %v, want [%d %d]", cols.Shape, outH*outW, rowLen))
+	if len(dst) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), outH*outW*rowLen))
 	}
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			dst := cols.Data[(oy*outW+ox)*rowLen:][:rowLen]
+			dst := dst[(oy*outW+ox)*rowLen:][:rowLen]
 			di := 0
 			for c := 0; c < g.InC; c++ {
 				chanBase := c * g.InH * g.InW
@@ -71,18 +83,31 @@ func Im2Col(img []float64, g ConvGeom, cols *Tensor) {
 // accumulated into img (which must be pre-zeroed by the caller if a fresh
 // gradient is wanted).
 func Col2Im(grad *Tensor, g ConvGeom, img []float64) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if grad.Shape[0] != outH*outW || grad.Shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im grad shape %v, want [%d %d]", grad.Shape, outH*outW, rowLen))
+	}
+	Col2ImInto(grad.Data, g, img)
+}
+
+// Col2ImInto is Col2Im reading from a flat gradient slice of length
+// exactly OutH*OutW × InC*KH*KW — the allocation-free adjoint layers use
+// per image of a batched workspace. img accumulates and must be
+// pre-zeroed by the caller if a fresh gradient is wanted.
+func Col2ImInto(grad []float64, g ConvGeom, img []float64) {
 	g.Validate()
 	outH, outW := g.OutH(), g.OutW()
 	rowLen := g.InC * g.KH * g.KW
 	if len(img) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Col2Im image length %d, want %d", len(img), g.InC*g.InH*g.InW))
 	}
-	if grad.Shape[0] != outH*outW || grad.Shape[1] != rowLen {
-		panic(fmt.Sprintf("tensor: Col2Im grad shape %v, want [%d %d]", grad.Shape, outH*outW, rowLen))
+	if len(grad) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im grad length %d, want %d", len(grad), outH*outW*rowLen))
 	}
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			src := grad.Data[(oy*outW+ox)*rowLen:][:rowLen]
+			src := grad[(oy*outW+ox)*rowLen:][:rowLen]
 			si := 0
 			for c := 0; c < g.InC; c++ {
 				chanBase := c * g.InH * g.InW

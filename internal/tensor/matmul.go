@@ -33,12 +33,28 @@ func MatMulInto(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
-	work := m * n * k
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || m < 2 {
+	if !splitRows(m, m*n*k) {
 		matmulRows(dst, a, b, 0, m)
 		return
 	}
+	parallelRows(m, func(lo, hi int) { matmulRows(dst, a, b, lo, hi) })
+}
+
+// splitRows reports whether an m-row product of `work` multiply-adds is
+// worth spreading across goroutines. Callers must check it BEFORE
+// building the parallelRows closure: the closure escapes to the spawned
+// goroutines and is heap-allocated, which the serial hot path (small
+// per-batch products inside a training step) is required to avoid.
+func splitRows(m, work int) bool {
+	return work >= parallelThreshold && runtime.GOMAXPROCS(0) >= 2 && m >= 2
+}
+
+// parallelRows splits [0, m) into contiguous row blocks across
+// goroutines. The partitioning never affects results: every output
+// element is produced by exactly one block with a fixed per-element
+// summation order.
+func parallelRows(m int, rowFn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
 	}
@@ -52,10 +68,158 @@ func MatMulInto(dst, a, b *Tensor) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matmulRows(dst, a, b, lo, hi)
+			rowFn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MatMulTransBInto computes dst = a · bᵀ for rank-2 tensors without
+// materializing the transpose: a is (m, k), b is (n, k), dst is (m, n)
+// and must not alias a or b. Each output element is the dot product of an
+// a-row with a b-row, summed over p in increasing order with the same
+// skip-zero rule as matmulRows, so the result is bit-identical to
+// MatMul(a, Transpose(b)).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(dst.Shape) != 2 {
+		panic("tensor: MatMulTransB requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.Shape, b.Shape))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if !splitRows(m, m*n*k) {
+		matmulTransBRows(dst, a, b, 0, m)
+		return
+	}
+	parallelRows(m, func(lo, hi int) { matmulTransBRows(dst, a, b, lo, hi) })
+}
+
+// matmulTransBRows computes rows [lo,hi) of dst = a·bᵀ as dot products of
+// contiguous a-rows and b-rows, four b-rows at a time. The blocking only
+// adds independent accumulator chains (ILP); each output element is still
+// summed over p in increasing order with the skip-zero rule, so results
+// are bit-identical to the unblocked form.
+//
+// The unrolled 3/2/1 remainder cases are load-bearing, not residue: for
+// small-n operands (a convolution with few output channels, e.g.
+// LeNet-5's first conv) the remainder IS the whole computation, and the
+// multi-chain unrolls are what keep it latency-hidden — a single-chain
+// scalar remainder measured ~1.7× slower end to end on LeNet forward.
+// When touching the summation rule (p order, skip-zero), update ALL
+// four bodies identically; the golden-fingerprint suite enforces it.
+func matmulTransBRows(dst, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[1], dst.Shape[1]
+	for i := lo; i < hi; i++ {
+		aRow := a.Data[i*k : (i+1)*k]
+		outRow := dst.Data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			b2 := b.Data[(j+2)*k : (j+3)*k]
+			b3 := b.Data[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			outRow[j], outRow[j+1], outRow[j+2], outRow[j+3] = s0, s1, s2, s3
+		}
+		switch n - j {
+		case 3:
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			b2 := b.Data[(j+2)*k : (j+3)*k]
+			var s0, s1, s2 float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+			}
+			outRow[j], outRow[j+1], outRow[j+2] = s0, s1, s2
+		case 2:
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			var s0, s1 float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+			}
+			outRow[j], outRow[j+1] = s0, s1
+		case 1:
+			b0 := b.Data[j*k : (j+1)*k]
+			var s0 float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[p]
+			}
+			outRow[j] = s0
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = aᵀ · b without materializing the
+// transpose: a is (k, m), b is (k, n), dst is (m, n) and must not alias
+// a or b. Row i of dst accumulates a's column i against b's rows over p
+// in increasing order with the same skip-zero rule as matmulRows, so the
+// result is bit-identical to MatMul(Transpose(a), b).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(dst.Shape) != 2 {
+		panic("tensor: MatMulTransA requires rank-2 tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.Shape, b.Shape))
+	}
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if !splitRows(m, m*n*k) {
+		matmulTransARows(dst, a, b, 0, m)
+		return
+	}
+	parallelRows(m, func(lo, hi int) { matmulTransARows(dst, a, b, lo, hi) })
+}
+
+// matmulTransARows computes rows [lo,hi) of dst = aᵀ·b, streaming a's
+// column i against b's rows.
+func matmulTransARows(dst, a, b *Tensor, lo, hi int) {
+	k, m, n := a.Shape[0], a.Shape[1], dst.Shape[1]
+	for i := lo; i < hi; i++ {
+		outRow := dst.Data[i*n : (i+1)*n]
+		for x := range outRow {
+			outRow[x] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[p*n : (p+1)*n]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
 }
 
 // matmulRows computes rows [lo,hi) of dst = a·b using an ikj loop order
