@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -49,8 +50,15 @@ func main() {
 	datasets := fs.String("datasets", "cifar10,fmnist,svhn", "datasets (table1)")
 	methodsFlag := fs.String("methods", strings.Join(experiments.MethodNames, ","), "methods (table1)")
 	rounds := fs.Int("rounds", 0, "override training rounds where applicable")
+	workers := fs.Int("workers", 0, "cap simulator parallelism (sets GOMAXPROCS; default all cores)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		// Caps both the client executor width (Env.WorkerCount) and the
+		// tensor kernels' row-block width — everything runs on the shared
+		// work-sharing pool in internal/sched.
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	start := time.Now()
@@ -100,7 +108,7 @@ experiments:
   ablation-selector A3: automatic cluster-count rules
   ablation-compression A4: lossy upload codecs
 
-flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N`)
+flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N`)
 }
 
 func parseSeeds(s string) []uint64 {

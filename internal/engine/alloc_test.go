@@ -1,0 +1,80 @@
+//go:build !race
+
+// Steady-state allocation regression tests for the round engine: with
+// the per-environment runtime cached and every parallel phase on the
+// persistent executor, a warm round must allocate nothing — and a warm
+// whole FedAvg run only its Result skeleton. Excluded under -race
+// because the race runtime instruments allocations.
+
+package engine_test
+
+import (
+	"testing"
+
+	"fedclust/internal/engine"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+)
+
+// wireFedAvg wires the FedAvg hooks onto a driver without running it —
+// the per-round harness drives RunRound directly.
+func wireFedAvg(d *engine.RoundDriver) {
+	global := d.InitGlobal()
+	starts := d.StartsBuf()
+	d.Hooks.Broadcast = func(int) [][]float64 {
+		for i := range starts {
+			starts[i] = global
+		}
+		return starts
+	}
+	d.Hooks.Aggregate = func(_ int, reported []int) {
+		vecs, ws := d.Gather(reported)
+		fl.WeightedAverageInto(global, vecs, ws)
+	}
+	d.Hooks.Served = func(int) []float64 { return global }
+}
+
+// TestRoundDriverWarmRoundZeroAllocs: a warm RunRound — sampling,
+// broadcast, the parallel client phase over the pooled models,
+// aggregation, comm accounting, and (every other round) the full
+// evaluation protocol — performs zero steady-state heap allocations.
+// The only per-round appends, Comm.PerRound and Res.History, are
+// pre-grown so the test measures the round itself rather than slice
+// growth.
+func TestRoundDriverWarmRoundZeroAllocs(t *testing.T) {
+	env := goldenEnv(21, 1<<20, fl.Participation{})
+	env.EvalEvery = 2
+	d := engine.New(env, "alloc")
+	wireFedAvg(d)
+
+	round := 0
+	step := func() {
+		d.RunRound(round)
+		round++
+	}
+	// Warm everything: worker scratch, model pool, eval scratch, the
+	// Result's PerClientAcc buffer (first eval allocates it once).
+	for round < 4 {
+		step()
+	}
+	d.Res.Comm.PerRound = append(make([]fl.RoundComm, 0, 1<<12), d.Res.Comm.PerRound...)
+	d.Res.History = append(make([]fl.RoundMetrics, 0, 1<<12), d.Res.History...)
+
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Fatalf("warm round allocates %v times, want 0", n)
+	}
+}
+
+// TestFedAvgWarmRunAllocs: a warm full FedAvg run on a cached
+// environment stays within the Result-skeleton budget (driver + Result +
+// hook closures + History/PerClientAcc). The bound is deliberately tight
+// — the PR 3 acceptance ceiling is 50.
+func TestFedAvgWarmRunAllocs(t *testing.T) {
+	env := goldenEnv(22, 2, fl.Participation{})
+	methods.FedAvg{}.Run(env) // build + warm the cached runtime
+	if n := testing.AllocsPerRun(20, func() {
+		methods.FedAvg{}.Run(env)
+	}); n > 20 {
+		t.Fatalf("warm FedAvg run allocates %v times, want <= 20", n)
+	}
+}

@@ -1,0 +1,92 @@
+package engine_test
+
+// Parallelism-determinism suite: results must be bit-identical however
+// the work is spread — any Env.Workers, any GOMAXPROCS, first run or
+// warm cached runtime. The guarantees under test: client tasks and
+// evaluation are partitioning-insensitive (per-client work depends only
+// on the (client, round) stream, never on which worker runs it), the
+// executor's dynamic index handoff does not reorder any aggregation
+// arithmetic (Locals are written to fixed arena slots and folded in
+// client order), and the tensor kernels' parallel row blocks preserve
+// per-element summation order.
+
+import (
+	"runtime"
+	"testing"
+
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+)
+
+// trainersUnderTest covers the default Local hook (FedAvg), partial
+// participation with drop-outs (sampling buffers), a custom Local hook
+// with per-visit rng (IFCA), and the one-shot clustering + clustered
+// FedAvg schedule (FedClust).
+func determinismTrainers() []fl.Trainer {
+	return []fl.Trainer{
+		methods.FedAvg{},
+		methods.IFCA{K: 2},
+		&core.FedClust{},
+	}
+}
+
+func TestResultsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	part := fl.Participation{Fraction: 0.8, DropRate: 0.2}
+	for _, tr := range determinismTrainers() {
+		var want string
+		for _, workers := range []int{1, 2, 8} {
+			env := goldenEnv(31, 3, part)
+			env.EvalEvery = 1
+			env.Workers = workers
+			got := fingerprint(tr.Run(env))
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: workers=%d diverged:\n  got  %s\n  want %s",
+					tr.Name(), workers, got, want)
+			}
+		}
+	}
+}
+
+func TestResultsBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	for _, tr := range determinismTrainers() {
+		var want string
+		for _, procs := range []int{1, 2, 4} {
+			old := runtime.GOMAXPROCS(procs)
+			env := goldenEnv(32, 3, fl.Participation{})
+			env.EvalEvery = 1
+			env.Workers = 4
+			got := fingerprint(tr.Run(env))
+			runtime.GOMAXPROCS(old)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: GOMAXPROCS=%d diverged:\n  got  %s\n  want %s",
+					tr.Name(), procs, got, want)
+			}
+		}
+	}
+}
+
+// TestResultsBitIdenticalOnWarmRuntime: rerunning a method on the same
+// environment reuses the cached runtime (model pool, arenas, scratch);
+// the results must match the cold run exactly, and an interleaved other
+// method must not perturb either.
+func TestResultsBitIdenticalOnWarmRuntime(t *testing.T) {
+	env := goldenEnv(33, 3, fl.Participation{})
+	env.EvalEvery = 1
+	cold := fingerprint(methods.FedAvg{}.Run(env))
+	if warm := fingerprint(methods.FedAvg{}.Run(env)); warm != cold {
+		t.Fatalf("warm FedAvg diverged:\n  cold %s\n  warm %s", cold, warm)
+	}
+	methods.IFCA{K: 2}.Run(env)
+	if warm := fingerprint(methods.FedAvg{}.Run(env)); warm != cold {
+		t.Fatalf("FedAvg after interleaved IFCA diverged:\n  cold %s\n  warm %s", cold, warm)
+	}
+}

@@ -7,12 +7,18 @@
 //
 // The driver also owns the performance layer every method inherits:
 //   - a per-worker ModelPool, so local training and evaluation reuse one
-//     nn.Sequential per executor goroutine instead of rebuilding the
+//     nn.Sequential per executor worker instead of rebuilding the
 //     network per client per round;
 //   - one contiguous flat-parameter arena backing every client's reported
-//     update (Locals), written in place via nn.FlattenParamsInto.
+//     update (Locals), written in place via nn.FlattenParamsInto;
+//   - a per-environment cached runtime (envState): pool, arenas, worker
+//     contexts, sampling/evaluation buffers, and the persistent executor
+//     tasks survive across runs on one Env, so a warm round — and even a
+//     warm whole run — allocates next to nothing.
 //
-// See DESIGN.md for the architecture and the hook contract.
+// All parallel phases run on the shared work-sharing executor
+// (internal/sched); see DESIGN.md for the architecture, the hook
+// contract, and the scheduler's invariants.
 package engine
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
+	"fedclust/internal/rng"
 )
 
 // ClientCtx is the per-client execution context handed to the Local hook.
@@ -43,6 +50,19 @@ type ClientCtx struct {
 	// steady-state local training allocates nothing. Custom Local hooks
 	// should train through it.
 	Scratch *fl.TrainScratch
+
+	// rng backs VisitRng; persistent so visits draw streams without
+	// allocating.
+	rng rng.Rng
+}
+
+// VisitRng returns the deterministic stream for this visit's
+// (Client, Round) — exactly what Env.ClientRng(Client, Round) yields,
+// reseeded in place in the worker's context so the hot path allocates
+// nothing. The stream is valid until the worker's next visit.
+func (c *ClientCtx) VisitRng() *rng.Rng {
+	c.Env.ClientRngInto(&c.rng, c.Client, c.Round)
+	return &c.rng
 }
 
 // Hooks are the method-specific parts of a round. Aggregate and Served
@@ -98,55 +118,79 @@ type RoundDriver struct {
 	// Weights caches env.TrainSizes() for aggregation.
 	Weights []float64
 
-	w0         []float64
-	pool       *ModelPool
-	all        []int
-	ctxs       []*ClientCtx
-	gatherVecs [][]float64
-	gatherWs   []float64
+	es *envState
+	// sh, when non-nil, holds the claim on the environment's shared
+	// runtime compartment; Run returns es to it when the schedule ends.
+	sh *fl.EnvShared
 }
 
 // New validates the environment and builds a driver for one method run.
+// The heavyweight runtime (model pool, arenas, worker contexts, buffers)
+// is cached on the environment and reused by later runs; only the first
+// run on an Env — or a run whose shape no longer fits, or one racing a
+// concurrent run on the same Env — pays for construction.
 func New(env *fl.Env, method string) *RoundDriver {
 	env.Validate()
-	n := len(env.Clients)
-	d := &RoundDriver{
-		Env:  env,
-		Res:  &fl.Result{Method: method},
-		pool: NewModelPool(env),
+	d := &RoundDriver{Env: env, Res: &fl.Result{Method: method}}
+	sh := env.Shared()
+	if v, ok := sh.AcquireRuntime(); ok {
+		d.sh = sh
+		if es, ok := v.(*envState); ok && es.fits(env) {
+			d.es = es
+		}
 	}
-	proto := d.pool.Get(0)
-	d.NumParams = proto.NumParams()
-	d.w0 = nn.FlattenParams(proto)
-	arena := make([]float64, n*d.NumParams)
-	d.Locals = make([][]float64, n)
-	for i := range d.Locals {
-		d.Locals[i] = arena[i*d.NumParams : (i+1)*d.NumParams : (i+1)*d.NumParams]
+	if d.es == nil {
+		d.es = newEnvState(env)
 	}
-	d.Weights = env.TrainSizes()
-	d.all = make([]int, n)
-	for i := range d.all {
-		d.all[i] = i
-	}
-	d.ctxs = make([]*ClientCtx, d.pool.Size())
-	for w := range d.ctxs {
-		d.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{}}
-	}
-	d.gatherVecs = make([][]float64, 0, n)
-	d.gatherWs = make([]float64, 0, n)
+	d.es.rebind(env, d)
+	d.NumParams = d.es.numParams
+	d.Locals = d.es.locals
+	d.Weights = d.es.weights
 	return d
+}
+
+// close returns the runtime to the environment's shared slot.
+func (d *RoundDriver) close() {
+	if d.sh != nil {
+		d.sh.ReleaseRuntime(d.es)
+		d.sh = nil
+	}
 }
 
 // InitParams returns a fresh copy of the canonical initial parameters w₀
 // (what nn.FlattenParams(env.NewModel()) yields, without building another
 // model). Callers own the copy and may aggregate into it.
 func (d *RoundDriver) InitParams() []float64 {
-	return append([]float64(nil), d.w0...)
+	return append([]float64(nil), d.es.w0...)
+}
+
+// InitGlobal returns a per-environment reusable buffer preloaded with
+// w₀. Unlike InitParams, the buffer is recycled across runs on the same
+// environment, so a warm global-model run (FedAvg/FedProx) allocates
+// nothing for its server state. The buffer is invalidated by the next
+// InitGlobal call on this environment.
+func (d *RoundDriver) InitGlobal() []float64 {
+	if d.es.global == nil {
+		d.es.global = make([]float64, d.NumParams)
+	}
+	copy(d.es.global, d.es.w0)
+	return d.es.global
+}
+
+// StartsBuf returns a per-environment reusable client-indexed slice for
+// Broadcast hooks (zeroing is the hook's job: every invited client's
+// entry is rewritten each round). Invalidated by the next StartsBuf call
+// on this environment.
+func (d *RoundDriver) StartsBuf() [][]float64 {
+	if d.es.starts == nil {
+		d.es.starts = make([][]float64, len(d.Env.Clients))
+	}
+	return d.es.starts
 }
 
 // Pool exposes the per-worker model pool for method phases outside the
 // round loop (e.g. FedClust's warmup feature collection).
-func (d *RoundDriver) Pool() *ModelPool { return d.pool }
+func (d *RoundDriver) Pool() *ModelPool { return d.es.pool }
 
 // DefaultLocal is the plain client objective: load the broadcast weights,
 // run local SGD through the worker's scratch, flatten the trained
@@ -156,38 +200,41 @@ func DefaultLocal(ctx *ClientCtx) {
 		ctx.Scratch = &fl.TrainScratch{}
 	}
 	nn.LoadParams(ctx.Model, ctx.Start)
-	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.Env.ClientRng(ctx.Client, ctx.Round))
+	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.VisitRng())
 	nn.FlattenParamsInto(ctx.Model, ctx.Out)
 }
 
 // Gather collects the reported clients' local vectors and aggregation
 // weights into reused scratch slices (valid until the next Gather call).
 func (d *RoundDriver) Gather(reported []int) (vecs [][]float64, ws []float64) {
-	vecs, ws = d.gatherVecs[:0], d.gatherWs[:0]
+	vecs, ws = d.es.gatherVecs[:0], d.es.gatherWs[:0]
 	for _, i := range reported {
 		vecs = append(vecs, d.Locals[i])
 		ws = append(ws, d.Weights[i])
 	}
-	d.gatherVecs, d.gatherWs = vecs, ws
+	d.es.gatherVecs, d.es.gatherWs = vecs, ws
 	return vecs, ws
 }
 
 // GatherCluster collects the local vectors and weights of the clients
 // assigned to cluster id, in client order (reused scratch, as Gather).
 func (d *RoundDriver) GatherCluster(assign []int, id int) (vecs [][]float64, ws []float64) {
-	vecs, ws = d.gatherVecs[:0], d.gatherWs[:0]
+	vecs, ws = d.es.gatherVecs[:0], d.es.gatherWs[:0]
 	for i, a := range assign {
 		if a == id {
 			vecs = append(vecs, d.Locals[i])
 			ws = append(ws, d.Weights[i])
 		}
 	}
-	d.gatherVecs, d.gatherWs = vecs, ws
+	d.es.gatherVecs, d.es.gatherWs = vecs, ws
 	return vecs, ws
 }
 
 // Run executes the round schedule and returns the accumulated result.
 func (d *RoundDriver) Run() *fl.Result {
+	// Release the runtime claim even when the hook checks (or a hook
+	// itself) panic, so a recovered failure never leaks the slot.
+	defer d.close()
 	if d.Hooks.Aggregate == nil {
 		panic(fmt.Sprintf("engine: %s has no Aggregate hook", d.Res.Method))
 	}
@@ -197,44 +244,42 @@ func (d *RoundDriver) Run() *fl.Result {
 	if d.Hooks.Broadcast == nil && d.Hooks.Local == nil {
 		panic(fmt.Sprintf("engine: %s has neither Broadcast nor Local hook", d.Res.Method))
 	}
-	env := d.Env
-	for round := 0; round < env.Rounds; round++ {
-		invited, reported := d.sample(round)
-		d.Res.Comm.Download(len(invited), d.downlink(round))
-		var starts [][]float64
-		if d.Hooks.Broadcast != nil {
-			starts = d.Hooks.Broadcast(round)
-		}
-		env.ParallelClientsWorker(len(invited), func(w, j int) {
-			i := invited[j]
-			ctx := d.ctxs[w]
-			ctx.Model = d.pool.Get(w)
-			ctx.Client, ctx.Round = i, round
-			ctx.Start = nil
-			if starts != nil {
-				ctx.Start = starts[i]
-			}
-			ctx.Out = d.Locals[i]
-			if d.Hooks.Local != nil {
-				d.Hooks.Local(ctx)
-			} else {
-				DefaultLocal(ctx)
-			}
-		})
-		d.Res.Comm.Upload(len(reported), d.uplink(round))
-		d.Hooks.Aggregate(round, reported)
-		if d.Hooks.OnRoundEnd != nil {
-			d.Hooks.OnRoundEnd(round)
-		}
-		d.Res.Comm.EndRound(round + 1)
-
-		if env.ShouldEval(round) {
-			per, acc, loss := d.evaluateServed()
-			d.Res.History = append(d.Res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
-			d.Res.PerClientAcc, d.Res.FinalAcc, d.Res.FinalLoss = per, acc, loss
-		}
+	for round := 0; round < d.Env.Rounds; round++ {
+		d.RunRound(round)
 	}
 	return d.Res
+}
+
+// RunRound executes one round of the schedule (round is 0-based). Run is
+// the normal entry point; RunRound is exported for the steady-state
+// allocation harness, which asserts a warm round allocates nothing.
+func (d *RoundDriver) RunRound(round int) {
+	env := d.Env
+	es := d.es
+	invited, reported := d.sample(round)
+	d.Res.Comm.Download(len(invited), d.downlink(round))
+	var starts [][]float64
+	if d.Hooks.Broadcast != nil {
+		starts = d.Hooks.Broadcast(round)
+	}
+	es.curInvited, es.curStarts, es.curRound = invited, starts, round
+	env.ParallelClientsWorker(len(invited), es.clientTask)
+	es.curInvited, es.curStarts = nil, nil
+	d.Res.Comm.Upload(len(reported), d.uplink(round))
+	d.Hooks.Aggregate(round, reported)
+	if d.Hooks.OnRoundEnd != nil {
+		d.Hooks.OnRoundEnd(round)
+	}
+	d.Res.Comm.EndRound(round + 1)
+
+	if env.ShouldEval(round) {
+		per, acc, loss := d.evaluateServed()
+		d.Res.History = append(d.Res.History, fl.RoundMetrics{Round: round + 1, MeanAcc: acc, MeanLoss: loss})
+		// per aliases the environment's reusable evaluation buffer; the
+		// Result owns its own copy (reused across this run's evals).
+		d.Res.PerClientAcc = append(d.Res.PerClientAcc[:0], per...)
+		d.Res.FinalAcc, d.Res.FinalLoss = acc, loss
+	}
 }
 
 // RunClusteredFedAvg wires the hooks for the common "fixed assignment,
@@ -245,7 +290,7 @@ func (d *RoundDriver) Run() *fl.Result {
 // vector per cluster and is updated in place.
 func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64) *fl.Result {
 	d.FullParticipation = true
-	starts := make([][]float64, len(labels))
+	starts := d.StartsBuf()
 	d.Hooks.Broadcast = func(round int) [][]float64 {
 		for i, l := range labels {
 			starts[i] = models[l]
@@ -264,12 +309,15 @@ func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64
 	return d.Run()
 }
 
-// sample draws the round's invited and reporting sets.
+// sample draws the round's invited and reporting sets into reused
+// buffers.
 func (d *RoundDriver) sample(round int) (invited, reported []int) {
 	if d.FullParticipation {
-		return d.all, d.all
+		return d.es.all, d.es.all
 	}
-	return d.Env.SampleRound(round)
+	inv, rep := d.Env.SampleRoundInto(round, d.es.invited, d.es.reported)
+	d.es.invited, d.es.reported = inv, rep
+	return inv, rep
 }
 
 func (d *RoundDriver) downlink(round int) int {
@@ -289,16 +337,15 @@ func (d *RoundDriver) uplink(round int) int {
 // evaluateServed runs the personalized evaluation protocol over the
 // pooled per-worker models: each worker loads the served vector only when
 // it differs (by identity) from the one it evaluated last, so serving one
-// cluster model to many clients costs one load per worker.
+// cluster model to many clients costs one load per worker. The identity
+// cache never survives a call (a vector freed since the last evaluation
+// could alias a new allocation).
 func (d *RoundDriver) evaluateServed() ([]float64, float64, float64) {
-	last := make([][]float64, d.pool.Size())
-	return d.Env.EvaluateWith(func(w, i int) *nn.Sequential {
-		vec := d.Hooks.Served(i)
-		m := d.pool.Get(w)
-		if last[w] == nil || &last[w][0] != &vec[0] {
-			nn.LoadParams(m, vec)
-			last[w] = vec
-		}
-		return m
-	})
+	es := d.es
+	for i := range es.evalLast {
+		es.evalLast[i] = nil
+	}
+	per, acc, loss := d.Env.EvaluateWithInto(es.perClient, es.evalPick)
+	es.perClient = per
+	return per, acc, loss
 }

@@ -102,6 +102,38 @@ func TestConcurrentEvaluatePersonalizedSharedModel(t *testing.T) {
 	}
 }
 
+// TestRuntimeClaimFallback: when the environment's cached runtime slot
+// is held by someone else, a run must transparently build private state
+// — and produce bit-identical results. (Fully concurrent runs on one Env
+// remain unsupported one layer down: client Datasets own reusable
+// batcher state; see DESIGN.md §6.)
+func TestRuntimeClaimFallback(t *testing.T) {
+	env := goldenEnv(14, 2, fl.Participation{})
+	env.EvalEvery = 1
+	want := methods.FedAvg{}.Run(env)
+
+	v, ok := env.Shared().AcquireRuntime()
+	if !ok {
+		t.Fatal("runtime slot not claimable between runs")
+	}
+	got := methods.FedAvg{}.Run(env) // must fall back to private state
+	env.Shared().ReleaseRuntime(v)
+
+	if got.FinalAcc != want.FinalAcc || got.FinalLoss != want.FinalLoss {
+		t.Fatalf("fallback run diverged: acc %v/%v loss %v/%v",
+			got.FinalAcc, want.FinalAcc, got.FinalLoss, want.FinalLoss)
+	}
+	for i := range want.PerClientAcc {
+		if got.PerClientAcc[i] != want.PerClientAcc[i] {
+			t.Fatalf("fallback run: client %d acc diverged", i)
+		}
+	}
+	// The released slot must still work afterwards.
+	if res := (methods.FedAvg{}).Run(env); res.FinalAcc != want.FinalAcc {
+		t.Fatal("cached runtime corrupted by fallback run")
+	}
+}
+
 // TestTrainersUnderContention runs the engine-backed trainers with more
 // workers than clients so the pool, arena writes, and evaluation all
 // overlap aggressively; -race verifies the round loop is clean.

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+)
+
+// envState is the engine's per-environment runtime: everything a
+// RoundDriver needs that depends only on the environment's shape (client
+// count, parameter count, worker count) and is expensive to rebuild —
+// the per-worker model pool, the contiguous Locals arena, the worker
+// contexts with their training scratch, the sampling/evaluation buffers,
+// and the persistent executor tasks.
+//
+// It is cached on the environment across runs through
+// fl.EnvShared.AcquireRuntime, so the steady state of a long experiment
+// (many methods, many rounds on one Env) rebuilds none of it. Reuse is
+// bit-equivalent to a fresh build: pooled models are fully overwritten
+// by nn.LoadParams before every use, training scratch resets its
+// optimizer state per visit, and identity caches (evalLast) never
+// survive a call boundary. Concurrent runs on one environment fall back
+// to a private, uncached envState.
+//
+// Reuse assumes the environment's Clients, Factory, Seed, and worker
+// count are unchanged between runs — true for every trainer here,
+// including FedProx's copied Env (only Local.ProxMu differs; rebind
+// refreshes the Env pointer the contexts and hooks see). A run that
+// changes Workers or the client set gets a fresh state via fits.
+type envState struct {
+	env       *fl.Env
+	workers   int
+	n         int
+	numParams int
+
+	pool    *ModelPool
+	w0      []float64
+	arena   []float64
+	locals  [][]float64
+	weights []float64
+	all     []int
+	ctxs    []*ClientCtx
+
+	gatherVecs [][]float64
+	gatherWs   []float64
+
+	invited, reported []int // sampling buffers
+	evalLast          [][]float64
+	perClient         []float64
+
+	// Method-level scratch handed out by RoundDriver.InitGlobal and
+	// StartsBuf (the global-model and clustered-FedAvg wiring).
+	global []float64
+	starts [][]float64
+
+	// Current-round wiring read by the persistent executor tasks; set by
+	// RunRound / evaluateServed before the parallel phase, cleared after.
+	d          *RoundDriver
+	curInvited []int
+	curStarts  [][]float64
+	curRound   int
+	clientTask func(w, j int)
+	evalPick   func(w, i int) *nn.Sequential
+}
+
+// newEnvState builds the runtime for env's current shape.
+func newEnvState(env *fl.Env) *envState {
+	n := len(env.Clients)
+	es := &envState{
+		env:     env,
+		workers: env.WorkerCount(),
+		n:       n,
+		pool:    NewModelPool(env),
+	}
+	proto := es.pool.Get(0)
+	es.numParams = proto.NumParams()
+	es.w0 = nn.FlattenParams(proto)
+	es.arena = make([]float64, n*es.numParams)
+	es.locals = make([][]float64, n)
+	for i := range es.locals {
+		es.locals[i] = es.arena[i*es.numParams : (i+1)*es.numParams : (i+1)*es.numParams]
+	}
+	es.weights = env.TrainSizes()
+	es.all = make([]int, n)
+	for i := range es.all {
+		es.all[i] = i
+	}
+	es.ctxs = make([]*ClientCtx, es.pool.Size())
+	for w := range es.ctxs {
+		es.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{}}
+	}
+	es.gatherVecs = make([][]float64, 0, n)
+	es.gatherWs = make([]float64, 0, n)
+	es.evalLast = make([][]float64, es.pool.Size())
+	es.perClient = make([]float64, n)
+
+	es.clientTask = func(w, j int) {
+		i := es.curInvited[j]
+		ctx := es.ctxs[w]
+		ctx.Model = es.pool.Get(w)
+		ctx.Client, ctx.Round = i, es.curRound
+		ctx.Start = nil
+		if es.curStarts != nil {
+			ctx.Start = es.curStarts[i]
+		}
+		ctx.Out = es.locals[i]
+		if es.d.Hooks.Local != nil {
+			es.d.Hooks.Local(ctx)
+		} else {
+			DefaultLocal(ctx)
+		}
+	}
+	es.evalPick = func(w, i int) *nn.Sequential {
+		vec := es.d.Hooks.Served(i)
+		m := es.pool.Get(w)
+		if es.evalLast[w] == nil || &es.evalLast[w][0] != &vec[0] {
+			nn.LoadParams(m, vec)
+			es.evalLast[w] = vec
+		}
+		return m
+	}
+	return es
+}
+
+// fits reports whether the cached state still matches the environment's
+// current shape (tests mutate Workers between runs on one Env).
+func (es *envState) fits(env *fl.Env) bool {
+	return es.workers == env.WorkerCount() && es.n == len(env.Clients)
+}
+
+// rebind points the cached state at this run's Env pointer and driver.
+// The Env may be a copy of the one the state was built for (FedProx);
+// the contexts must see the copy so hook-visible config (Local) is the
+// run's own.
+func (es *envState) rebind(env *fl.Env, d *RoundDriver) {
+	es.env = env
+	es.d = d
+	for _, ctx := range es.ctxs {
+		ctx.Env = env
+	}
+}

@@ -14,6 +14,10 @@ type CommStats struct {
 	DownBytes int64
 	// PerRound records (up, down) per completed round for plots.
 	PerRound []RoundComm
+	// snapUp/snapDown are the totals already snapshotted into PerRound,
+	// so EndRound is O(1) instead of re-summing the whole history each
+	// round.
+	snapUp, snapDown int64
 }
 
 // RoundComm is one round's traffic.
@@ -35,16 +39,12 @@ func (c *CommStats) Download(nClients, nParams int) {
 
 // EndRound snapshots the traffic delta since the previous EndRound call.
 func (c *CommStats) EndRound(round int) {
-	var prevUp, prevDown int64
-	for _, r := range c.PerRound {
-		prevUp += r.UpBytes
-		prevDown += r.DownBytes
-	}
 	c.PerRound = append(c.PerRound, RoundComm{
 		Round:     round,
-		UpBytes:   c.UpBytes - prevUp,
-		DownBytes: c.DownBytes - prevDown,
+		UpBytes:   c.UpBytes - c.snapUp,
+		DownBytes: c.DownBytes - c.snapDown,
 	})
+	c.snapUp, c.snapDown = c.UpBytes, c.DownBytes
 }
 
 // Total returns up+down bytes.

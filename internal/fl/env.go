@@ -3,11 +3,10 @@ package fl
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
-	"fedclust/internal/stats"
+	"fedclust/internal/sched"
 )
 
 // ModelFactory builds a network with a deterministic architecture whose
@@ -35,6 +34,23 @@ type Env struct {
 	// Participation controls per-round client sampling and failure
 	// injection (zero value: full participation, no failures).
 	Participation Participation
+	// Exec optionally pins this environment to a dedicated executor pool
+	// (e.g. one the caller shuts down deterministically with
+	// sched.Pool.Shutdown). nil uses the process-wide sched.Default().
+	Exec *sched.Pool
+
+	// shared is the lazily created per-Env scratch holder (see
+	// EnvShared); behind a pointer so Env stays copyable.
+	shared *EnvShared
+}
+
+// executor returns the work-sharing pool this environment's parallel
+// phases run on.
+func (e *Env) executor() *sched.Pool {
+	if e.Exec != nil {
+		return e.Exec
+	}
+	return sched.Default()
 }
 
 // Validate panics on degenerate environments.
@@ -59,7 +75,18 @@ func (e *Env) NewModel() *nn.Sequential {
 
 // ClientRng returns the deterministic stream for a client in a round.
 func (e *Env) ClientRng(clientID, round int) *rng.Rng {
-	return rng.New(e.Seed).Derive(0xc11e47, uint64(clientID), uint64(round))
+	r := &rng.Rng{}
+	e.ClientRngInto(r, clientID, round)
+	return r
+}
+
+// ClientRngInto reseeds dst to exactly the stream ClientRng returns,
+// without allocating — the engine's hot path keys one persistent Rng per
+// worker context.
+func (e *Env) ClientRngInto(dst *rng.Rng, clientID, round int) {
+	var root rng.Rng
+	root.Reseed(e.Seed)
+	root.DeriveInto(dst, 0xc11e47, uint64(clientID), uint64(round))
 }
 
 // EvalBatchSize returns the effective evaluation batch size.
@@ -79,10 +106,10 @@ func (e *Env) WorkerCount() int {
 }
 
 // ParallelClients runs fn(i) for every client index in [0, n) across the
-// environment's worker pool. fn must be safe to call concurrently for
+// environment's executor. fn must be safe to call concurrently for
 // distinct indices.
 func (e *Env) ParallelClients(n int, fn func(i int)) {
-	ParallelFor(n, e.WorkerCount(), fn)
+	e.executor().Run(n, e.WorkerCount(), func(_, i int) { fn(i) })
 }
 
 // ParallelClientsWorker is ParallelClients with the executing worker's
@@ -90,47 +117,22 @@ func (e *Env) ParallelClients(n int, fn func(i int)) {
 // (model pools, buffers) without locking: worker w only ever runs on one
 // goroutine at a time.
 func (e *Env) ParallelClientsWorker(n int, fn func(worker, i int)) {
-	ParallelForWorker(n, e.WorkerCount(), fn)
+	e.executor().Run(n, e.WorkerCount(), fn)
 }
 
-// ParallelFor runs fn(0..n-1) over `workers` goroutines.
+// ParallelFor runs fn(0..n-1) over up to `workers` concurrent
+// participants of the shared executor.
 func ParallelFor(n, workers int, fn func(i int)) {
-	ParallelForWorker(n, workers, func(_, i int) { fn(i) })
+	sched.Default().Run(n, workers, func(_, i int) { fn(i) })
 }
 
-// ParallelForWorker runs fn(worker, 0..n-1) over `workers` goroutines.
-// Indices are handed out dynamically; the worker id is stable per
-// goroutine and lies in [0, min(workers, n)), so per-worker state indexed
-// by it is never accessed concurrently.
+// ParallelForWorker runs fn(worker, 0..n-1) over up to `workers`
+// concurrent participants of the shared executor. Indices are handed out
+// dynamically; the worker id is stable per goroutine for the call and
+// lies in [0, min(workers, n)), so per-worker state indexed by it is
+// never accessed concurrently.
 func ParallelForWorker(n, workers int, fn func(worker, i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range idx {
-				fn(worker, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	sched.Default().Run(n, workers, fn)
 }
 
 // ShouldEval reports whether metrics should be recorded after round r
@@ -149,34 +151,55 @@ func (e *Env) ShouldEval(r int) bool {
 // model instances: nn.Sequential Forward caches activations, so a single
 // model instance must never be evaluated from two goroutines at once.
 func (e *Env) EvaluateWith(pick func(worker, clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
+	return e.evaluateWith(make([]float64, len(e.Clients)), pick)
+}
+
+// EvaluateWithInto is EvaluateWith writing the per-client accuracies
+// into dst (grown when too small) instead of a fresh slice, so warm
+// evaluation rounds allocate nothing. The returned slice aliases dst's
+// backing array and is overwritten by the caller's next Into call;
+// callers that retain results must copy them.
+func (e *Env) EvaluateWithInto(dst []float64, pick func(worker, clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
 	n := len(e.Clients)
-	perClient = make([]float64, n)
-	losses := make([]float64, n)
-	valid := make([]bool, n)
-	// One loss head per worker keeps the softmax/grad workspaces warm
-	// across the many clients a worker evaluates.
-	ces := make([]nn.SoftmaxCE, e.WorkerCount())
-	e.ParallelClientsWorker(n, func(w, i int) {
-		c := e.Clients[i]
-		if c.Test == nil || c.Test.Len() == 0 {
-			return
-		}
-		l, a := EvaluateCE(pick(w, i), c.Test, e.EvalBatchSize(), &ces[w])
-		perClient[i] = a
-		losses[i] = l
-		valid[i] = true
-	})
-	var accs, ls []float64
-	for i := range valid {
-		if valid[i] {
-			accs = append(accs, perClient[i])
-			ls = append(ls, losses[i])
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	return e.evaluateWith(dst[:n], pick)
+}
+
+// evaluateWith claims the environment's evaluation scratch and runs the
+// protocol on it.
+func (e *Env) evaluateWith(perClient []float64, pick func(worker, clientIdx int) *nn.Sequential) ([]float64, float64, float64) {
+	s, claimed := e.acquireEval()
+	defer e.releaseEval(s, claimed)
+	return e.evaluateOn(s, perClient, pick)
+}
+
+// evaluateOn runs the evaluation protocol over an already-claimed
+// scratch: one warm loss head per worker, results gathered into
+// perClient/losses columns, means taken over clients with test data in
+// client-index order (bit-identical to the historical gather-then-Mean).
+func (e *Env) evaluateOn(s *evalScratch, perClient []float64, pick func(worker, clientIdx int) *nn.Sequential) ([]float64, float64, float64) {
+	n := len(e.Clients)
+	s.ensure(n, e.WorkerCount())
+	for i := range perClient {
+		perClient[i] = 0
+	}
+	s.env, s.pick, s.cur = e, pick, perClient
+	e.executor().Run(n, e.WorkerCount(), s.task)
+	var accSum, lossSum float64
+	valid := 0
+	for i := range s.valid {
+		if s.valid[i] {
+			accSum += perClient[i]
+			lossSum += s.losses[i]
+			valid++
 		}
 	}
-	if len(accs) == 0 {
+	if valid == 0 {
 		return perClient, 0, 0
 	}
-	return perClient, stats.Mean(accs), stats.Mean(ls)
+	return perClient, accSum / float64(valid), lossSum / float64(valid)
 }
 
 // EvaluatePersonalized evaluates, for each client, the model selected by
@@ -185,25 +208,24 @@ func (e *Env) EvaluateWith(pick func(worker, clientIdx int) *nn.Sequential) (per
 // Clients with empty test sets are skipped in the means.
 //
 // modelFor may return the same model for many clients; evaluation runs on
-// per-worker clones, so the returned models are only ever read (layer
-// forward caches would otherwise race across workers).
+// per-worker clones (cached on the environment across calls, reloaded
+// only when the picked source changes), so the returned models are only
+// ever read — layer forward caches would otherwise race across workers.
 func (e *Env) EvaluatePersonalized(modelFor func(clientIdx int) *nn.Sequential) (perClient []float64, meanAcc, meanLoss float64) {
-	workers := e.WorkerCount()
-	clones := make([]*nn.Sequential, workers)
-	lastSrc := make([]*nn.Sequential, workers)
-	scratch := make([][]float64, workers)
-	return e.EvaluateWith(func(w, i int) *nn.Sequential {
+	s, claimed := e.acquireEval()
+	defer e.releaseEval(s, claimed)
+	return e.evaluateOn(s, make([]float64, len(e.Clients)), func(w, i int) *nn.Sequential {
 		src := modelFor(i)
-		if clones[w] == nil {
-			clones[w] = e.NewModel()
-			scratch[w] = make([]float64, clones[w].NumParams())
+		if s.clones[w] == nil {
+			s.clones[w] = e.NewModel()
+			s.load[w] = make([]float64, s.clones[w].NumParams())
 		}
-		if src != lastSrc[w] {
-			nn.FlattenParamsInto(src, scratch[w])
-			nn.LoadParams(clones[w], scratch[w])
-			lastSrc[w] = src
+		if src != s.lastSrc[w] {
+			nn.FlattenParamsInto(src, s.load[w])
+			nn.LoadParams(s.clones[w], s.load[w])
+			s.lastSrc[w] = src
 		}
-		return clones[w]
+		return s.clones[w]
 	})
 }
 

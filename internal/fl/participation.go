@@ -1,6 +1,10 @@
 package fl
 
-import "fmt"
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+)
 
 // Participation controls per-round client sampling and failure injection.
 // The zero value means full participation with no failures — the setting
@@ -37,15 +41,25 @@ func (p Participation) Validate() {
 // non-empty (if every invited client would drop, one survivor is kept so
 // the round is not wasted).
 func (e *Env) SampleRound(round int) (invited, reported []int) {
+	return e.SampleRoundInto(round, nil, nil)
+}
+
+// SampleRoundInto is SampleRound appending into caller-owned buffers
+// (reused across rounds by the round engine so steady-state sampling
+// allocates nothing once the buffers have grown). The returned slices
+// are backed by the buffers; the draws are variate-for-variate identical
+// to SampleRound's.
+func (e *Env) SampleRoundInto(round int, invitedBuf, reportedBuf []int) (invited, reported []int) {
 	p := e.Participation
 	p.Validate()
 	n := len(e.Clients)
-	r := e.ClientRng(-1, round) // server-side stream for this round
+	var r rng.Rng
+	e.ClientRngInto(&r, -1, round) // server-side stream for this round
 	// Invited set.
+	invited = invitedBuf[:0]
 	if p.Fraction == 0 || p.Fraction >= 1 {
-		invited = make([]int, n)
-		for i := range invited {
-			invited[i] = i
+		for i := 0; i < n; i++ {
+			invited = append(invited, i)
 		}
 	} else {
 		k := int(p.Fraction*float64(n) + 0.5)
@@ -58,11 +72,16 @@ func (e *Env) SampleRound(round int) (invited, reported []int) {
 		if k > n {
 			k = n
 		}
-		invited = r.Perm(n)[:k]
+		for i := 0; i < n; i++ {
+			invited = append(invited, 0)
+		}
+		r.PermInto(invited)
+		invited = invited[:k]
 	}
 	// Failure injection.
+	reported = reportedBuf[:0]
 	if p.DropRate == 0 {
-		return invited, append([]int(nil), invited...)
+		return invited, append(reported, invited...)
 	}
 	for _, c := range invited {
 		if r.Float64() >= p.DropRate {
@@ -70,7 +89,7 @@ func (e *Env) SampleRound(round int) (invited, reported []int) {
 		}
 	}
 	if len(reported) == 0 {
-		reported = []int{invited[r.Intn(len(invited))]}
+		reported = append(reported, invited[r.Intn(len(invited))])
 	}
 	return invited, reported
 }

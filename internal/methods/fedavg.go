@@ -27,8 +27,10 @@ func (FedAvg) Name() string { return "FedAvg" }
 func (FedAvg) Run(env *fl.Env) *fl.Result {
 	d := engine.New(env, "FedAvg")
 	d.Res.ClusterFormationRound = -1
-	global := d.InitParams()
-	starts := make([][]float64, len(env.Clients))
+	// Both buffers are per-environment scratch recycled across runs, so
+	// a warm FedAvg run allocates no server-side state.
+	global := d.InitGlobal()
+	starts := d.StartsBuf()
 
 	d.Hooks.Broadcast = func(round int) [][]float64 {
 		for i := range starts {
@@ -61,7 +63,11 @@ func (p FedProx) Name() string { return "FedProx" }
 // Run implements fl.Trainer.
 func (p FedProx) Run(env *fl.Env) *fl.Result {
 	// FedProx is FedAvg with the proximal term switched on in the local
-	// config; reuse the FedAvg loop with an adjusted environment.
+	// config; reuse the FedAvg loop with an adjusted environment. Create
+	// the shared scratch holder before copying so the copy shares it —
+	// otherwise the cached engine runtime would land on the throwaway
+	// copy and be rebuilt every run.
+	env.Shared()
 	proxEnv := *env
 	proxEnv.Local.ProxMu = p.Mu
 	res := FedAvg{}.Run(&proxEnv)

@@ -59,8 +59,15 @@ type Layer interface {
 }
 
 // Sequential chains layers and exposes whole-network parameter access.
+// The layer list is fixed after construction; the parameter/gradient
+// lists and scalar count are cached on first use so the hot paths
+// (LoadParams / FlattenParamsInto on every client visit) never rebuild
+// them.
 type Sequential struct {
 	Layers []Layer
+
+	params, grads []*tensor.Tensor
+	numParams     int // 0 = not yet computed (no zoo net is parameterless)
 }
 
 // NewSequential builds a network from the given layers.
@@ -84,22 +91,27 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns every parameter tensor in layer order.
+// Params returns every parameter tensor in layer order. The returned
+// slice is cached and shared: callers may mutate tensor contents (that
+// is how aggregation loads weights) but must not modify the slice.
 func (s *Sequential) Params() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range s.Layers {
-		out = append(out, l.Params()...)
+	if s.params == nil {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
 	}
-	return out
+	return s.params
 }
 
-// Grads returns every gradient tensor in layer order, aligned with Params.
+// Grads returns every gradient tensor in layer order, aligned with
+// Params (cached and shared like Params).
 func (s *Sequential) Grads() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range s.Layers {
-		out = append(out, l.Grads()...)
+	if s.grads == nil {
+		for _, l := range s.Layers {
+			s.grads = append(s.grads, l.Grads()...)
+		}
 	}
-	return out
+	return s.grads
 }
 
 // ZeroGrads clears all accumulated gradients.
@@ -124,11 +136,12 @@ func (s *Sequential) SeedStep(r *rng.Rng) {
 
 // NumParams returns the total number of scalar parameters.
 func (s *Sequential) NumParams() int {
-	n := 0
-	for _, p := range s.Params() {
-		n += p.Size()
+	if s.numParams == 0 {
+		for _, p := range s.Params() {
+			s.numParams += p.Size()
+		}
 	}
-	return n
+	return s.numParams
 }
 
 // String lists the layer names.

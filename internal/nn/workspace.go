@@ -4,36 +4,44 @@ import "fedclust/internal/tensor"
 
 // ws is a lazily sized rank-2 tensor workspace owned by a layer (or the
 // loss head). get returns a (rows, cols) tensor backed by grow-only
-// storage; the two most recent shape headers are cached so the steady
-// training cadence — full batches alternating with the partial final
-// batch, or train batches alternating with eval batches — allocates
-// nothing once warm.
+// storage; the most recent shape headers are cached (MRU order) so the
+// steady cadence of a pooled model — full training batches, the partial
+// final batch, full evaluation batches, and the partial evaluation tail
+// all interleaving on one reused network — allocates nothing once warm.
 //
 // Tensors returned by get alias the same storage: only the most recent
 // one is valid, and its contents are unspecified (the caller must
 // overwrite every element or Zero it first). This is the buffer contract
 // behind the layer workspace rules in DESIGN.md §5.
 type ws struct {
-	buf       []float64
-	cur, prev *tensor.Tensor
+	buf []float64
+	// hdrs caches shape headers most-recently-used first. Four entries
+	// cover the train-full/train-partial/eval-full/eval-partial cycle the
+	// round engine drives through each pooled model.
+	hdrs [4]*tensor.Tensor
 }
 
 // get returns the (rows, cols) workspace tensor, reusing storage and
 // headers whenever possible.
 func (w *ws) get(rows, cols int) *tensor.Tensor {
-	if w.cur != nil && w.cur.Shape[0] == rows && w.cur.Shape[1] == cols {
-		return w.cur
-	}
-	if w.prev != nil && w.prev.Shape[0] == rows && w.prev.Shape[1] == cols {
-		w.cur, w.prev = w.prev, w.cur
-		return w.cur
+	for i, h := range w.hdrs {
+		if h != nil && h.Shape[0] == rows && h.Shape[1] == cols {
+			copy(w.hdrs[1:i+1], w.hdrs[:i]) // move hit to front
+			w.hdrs[0] = h
+			return h
+		}
 	}
 	need := rows * cols
 	if cap(w.buf) < need {
 		w.buf = make([]float64, need)
+		// Old headers alias the outgrown storage; drop them so every
+		// cached header keeps sharing one backing array.
+		w.hdrs = [4]*tensor.Tensor{}
 	}
-	w.prev, w.cur = w.cur, tensor.FromSlice(w.buf[:need:need], rows, cols)
-	return w.cur
+	h := tensor.FromSlice(w.buf[:need:need], rows, cols)
+	copy(w.hdrs[1:], w.hdrs[:len(w.hdrs)-1])
+	w.hdrs[0] = h
+	return h
 }
 
 // growBools returns a length-n bool scratch reusing s when capacity

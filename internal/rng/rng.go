@@ -34,6 +34,14 @@ type Rng struct {
 // same seed produce identical sequences.
 func New(seed uint64) *Rng {
 	var r Rng
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed reinitializes r in place to exactly the state New(seed)
+// produces, discarding any cached Box-Muller spare. It is the
+// allocation-free form hot paths use with a caller-owned Rng.
+func (r *Rng) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -42,7 +50,8 @@ func New(seed uint64) *Rng {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+	r.hasSpare = false
+	r.spare = 0
 }
 
 // Derive returns a new independent generator identified by the given labels.
@@ -52,12 +61,20 @@ func New(seed uint64) *Rng {
 //
 // Derive does not disturb the parent stream.
 func (r *Rng) Derive(labels ...uint64) *Rng {
+	var d Rng
+	r.DeriveInto(&d, labels...)
+	return &d
+}
+
+// DeriveInto reseeds dst to exactly the stream Derive(labels...) would
+// return, without allocating a generator. dst may be r itself.
+func (r *Rng) DeriveInto(dst *Rng, labels ...uint64) {
 	seed := r.s[0] ^ 0x2545f4914f6cdd1d
 	for _, l := range labels {
 		seed ^= splitMix64(&l)
 		seed = splitMix64(&seed)
 	}
-	return New(seed)
+	dst.Reseed(seed)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -138,11 +155,18 @@ func (r *Rng) NormFloat64() float64 {
 // Perm returns a random permutation of [0, n).
 func (r *Rng) Perm(n int) []int {
 	p := make([]int, n)
-	for i := range p {
-		p[i] = i
-	}
-	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	r.PermInto(p)
 	return p
+}
+
+// PermInto fills dst with a random permutation of [0, len(dst)), drawing
+// exactly the variates Perm(len(dst)) draws — the allocation-free form
+// for callers with a reusable buffer.
+func (r *Rng) PermInto(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	r.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
 }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.

@@ -1,0 +1,41 @@
+//go:build !race
+
+// Steady-state allocation regression: a warm region submission must not
+// allocate — that property is what lets the round engine run whole
+// rounds allocation-free on top of the pool. Excluded under -race
+// because the race runtime instruments allocations.
+
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunZeroAllocs: a warm Run with a persistent task closure performs
+// zero heap allocations (wake sends and atomic adds only).
+func TestRunZeroAllocs(t *testing.T) {
+	p := New()
+	defer p.Shutdown()
+	var sink atomic.Int64
+	fn := func(_, i int) { sink.Add(int64(i)) }
+	p.Run(64, 4, fn) // spawn and warm the workers
+	if n := testing.AllocsPerRun(100, func() { p.Run(64, 4, fn) }); n != 0 {
+		t.Fatalf("warm Run allocates %v times, want 0", n)
+	}
+}
+
+// TestSerialFallbackZeroAllocs: the inline serial paths (width 1, and a
+// shut-down pool) also stay allocation-free.
+func TestSerialFallbackZeroAllocs(t *testing.T) {
+	p := New()
+	var sink atomic.Int64
+	fn := func(_, i int) { sink.Add(int64(i)) }
+	if n := testing.AllocsPerRun(100, func() { p.Run(64, 1, fn) }); n != 0 {
+		t.Fatalf("width-1 Run allocates %v times, want 0", n)
+	}
+	p.Shutdown()
+	if n := testing.AllocsPerRun(100, func() { p.Run(64, 4, fn) }); n != 0 {
+		t.Fatalf("shut-down Run allocates %v times, want 0", n)
+	}
+}

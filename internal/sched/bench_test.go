@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// benchTask is a tiny task so the benchmarks measure pure dispatch
+// overhead: region setup, wake, index handoff, barrier.
+var benchSink atomic.Int64
+
+func benchTask(_, i int) { benchSink.Add(int64(i)) }
+
+// BenchmarkPoolRun measures one warm work-sharing region (64 items,
+// width 4) — the steady-state cost the round engine pays per parallel
+// phase.
+func BenchmarkPoolRun(b *testing.B) {
+	p := New()
+	defer p.Shutdown()
+	p.Run(64, 4, benchTask)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(64, 4, benchTask)
+	}
+}
+
+// BenchmarkGoroutinePerRegion is the PR 2 baseline this pool replaces: a
+// fresh filled channel plus fresh goroutines per parallel phase
+// (fl.ParallelForWorker's old implementation, reproduced here).
+func BenchmarkGoroutinePerRegion(b *testing.B) {
+	run := func(n, workers int, fn func(worker, i int)) {
+		idx := make(chan int, n)
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for i := range idx {
+					fn(worker, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(64, 4, benchTask)
+	}
+}

@@ -3,12 +3,13 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
+
+	"fedclust/internal/sched"
 )
 
 // parallelThreshold is the minimum number of multiply-adds in a matmul
-// before the work is split across goroutines. Small products stay on the
-// calling goroutine to avoid scheduling overhead.
+// before the work is split across the shared executor. Small products
+// stay on the calling goroutine to avoid scheduling overhead.
 const parallelThreshold = 64 * 1024
 
 // MatMul returns a(m×k) · b(k×n) as a new m×n tensor, parallelizing over
@@ -33,45 +34,80 @@ func MatMulInto(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
-	if !splitRows(m, m*n*k) {
+	if !splitRows(m, m*n*k) || !parallelRows(m, matmulRows, dst, a, b) {
 		matmulRows(dst, a, b, 0, m)
 		return
 	}
-	parallelRows(m, func(lo, hi int) { matmulRows(dst, a, b, lo, hi) })
 }
 
 // splitRows reports whether an m-row product of `work` multiply-adds is
-// worth spreading across goroutines. Callers must check it BEFORE
-// building the parallelRows closure: the closure escapes to the spawned
-// goroutines and is heap-allocated, which the serial hot path (small
-// per-batch products inside a training step) is required to avoid.
+// worth spreading across the executor. Small products — the per-batch
+// products inside a training step — stay on the serial kernels, which
+// perform no scheduling work and no allocations.
 func splitRows(m, work int) bool {
 	return work >= parallelThreshold && runtime.GOMAXPROCS(0) >= 2 && m >= 2
 }
 
-// parallelRows splits [0, m) into contiguous row blocks across
-// goroutines. The partitioning never affects results: every output
-// element is produced by exactly one block with a fixed per-element
-// summation order.
-func parallelRows(m int, rowFn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+// rowsKernel computes rows [lo, hi) of one matmul variant. The three
+// serial kernels (matmulRows, matmulTransBRows, matmulTransARows) all
+// have this shape, so the parallel dispatch is a plain function value —
+// no per-call closure.
+type rowsKernel func(dst, a, b *Tensor, lo, hi int)
+
+// parDispatch is the operand slot of the in-flight parallel region. It
+// is guarded by the executor claim: only the goroutine that holds
+// sched.Default()'s claim writes it, and it is cleared before the claim
+// is released, so the executor's single-region discipline makes the
+// whole dispatch closure-free and allocation-free.
+var parDispatch struct {
+	kernel    rowsKernel
+	dst, a, b *Tensor
+	chunk, m  int
+}
+
+// parRunBlock is the persistent task executor workers run: block i
+// covers rows [i*chunk, min((i+1)*chunk, m)).
+var parRunBlock = func(_, blk int) {
+	d := &parDispatch
+	lo := blk * d.chunk
+	hi := lo + d.chunk
+	if hi > d.m {
+		hi = d.m
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowFn(lo, hi)
-		}(lo, hi)
+	d.kernel(d.dst, d.a, d.b, lo, hi)
+}
+
+// parallelRows runs kernel over contiguous row blocks of [0, m) on the
+// shared executor and reports whether it ran. It refuses — returning
+// false, caller must run the serial kernel — when the executor is
+// unavailable: the call is nested inside a running region (a kernel
+// invoked from a client task of the round engine, or from an Env pinned
+// to a private pool) or racing a concurrent region. That refusal is what
+// eliminates nested oversubscription. The partitioning never affects
+// results: every output element is produced by exactly one block with a
+// fixed per-element summation order, so parallel and serial runs are
+// bit-identical.
+func parallelRows(m int, kernel rowsKernel, dst, a, b *Tensor) bool {
+	if sched.Busy() {
+		return false
 	}
-	wg.Wait()
+	p := sched.Default()
+	if !p.TryAcquire() {
+		return false
+	}
+	defer p.Release()
+	width := runtime.GOMAXPROCS(0)
+	if width > m {
+		width = m
+	}
+	chunk := (m + width - 1) / width
+	blocks := (m + chunk - 1) / chunk
+	d := &parDispatch
+	d.kernel, d.dst, d.a, d.b = kernel, dst, a, b
+	d.chunk, d.m = chunk, m
+	p.RunAcquired(blocks, width, parRunBlock)
+	d.kernel, d.dst, d.a, d.b = nil, nil, nil, nil
+	return true
 }
 
 // MatMulTransBInto computes dst = a · bᵀ for rank-2 tensors without
@@ -92,11 +128,10 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
-	if !splitRows(m, m*n*k) {
+	if !splitRows(m, m*n*k) || !parallelRows(m, matmulTransBRows, dst, a, b) {
 		matmulTransBRows(dst, a, b, 0, m)
 		return
 	}
-	parallelRows(m, func(lo, hi int) { matmulTransBRows(dst, a, b, lo, hi) })
 }
 
 // matmulTransBRows computes rows [lo,hi) of dst = a·bᵀ as dot products of
@@ -193,11 +228,10 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
-	if !splitRows(m, m*n*k) {
+	if !splitRows(m, m*n*k) || !parallelRows(m, matmulTransARows, dst, a, b) {
 		matmulTransARows(dst, a, b, 0, m)
 		return
 	}
-	parallelRows(m, func(lo, hi int) { matmulTransARows(dst, a, b, lo, hi) })
 }
 
 // matmulTransARows computes rows [lo,hi) of dst = aᵀ·b, streaming a's
