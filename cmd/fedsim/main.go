@@ -15,6 +15,7 @@
 //	scale            S2 — clustering/round time vs client count
 //	ablation-layer   A1 — cluster recovery per weight layer
 //	ablation-linkage A2 — FedClust under each HC linkage
+//	stragglers       H1 — system heterogeneity: stragglers, dropouts, staleness
 //
 // Common flags:
 //
@@ -22,6 +23,13 @@
 //	-seed N       root seed (default 1)
 //	-seeds a,b,c  seed list for table1 (default 1,2,3)
 //	-csv path     also write results as CSV
+//
+// Scenario flags (stragglers):
+//
+//	-scenario         toggle the heterogeneity layer (default true)
+//	-deadline D       virtual round deadline in nominal local-pass units
+//	-straggler-frac F fraction of clients drawn into the slow cohort
+//	-dropouts a,b,c   per-round dropout rates swept
 package main
 
 import (
@@ -51,6 +59,10 @@ func main() {
 	methodsFlag := fs.String("methods", strings.Join(experiments.MethodNames, ","), "methods (table1)")
 	rounds := fs.Int("rounds", 0, "override training rounds where applicable")
 	workers := fs.Int("workers", 0, "cap simulator parallelism (sets GOMAXPROCS; default all cores)")
+	scenarioOn := fs.Bool("scenario", true, "enable the system-heterogeneity scenario layer (stragglers)")
+	deadline := fs.Float64("deadline", 1, "virtual round deadline in nominal local-pass units (stragglers)")
+	stragglerFrac := fs.Float64("straggler-frac", 0.3, "fraction of clients in the slow cohort (stragglers)")
+	dropouts := fs.String("dropouts", "0,0.1,0.3,0.5", "comma-separated per-round dropout rates (stragglers)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -83,6 +95,17 @@ func main() {
 		runSelectorAblation(*quick, *seed)
 	case "ablation-compression":
 		runCompressionAblation(*quick, *seed)
+	case "stragglers":
+		// The stragglers default method set adds the staleness-aware
+		// aggregators; an explicit -methods overrides it.
+		var methodList []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "methods" {
+				methodList = splitList(*methodsFlag)
+			}
+		})
+		runStragglers(*quick, *seed, *scenarioOn, *deadline, *stragglerFrac,
+			parseFloats(*dropouts), methodList, *csvPath)
 	default:
 		fmt.Fprintf(os.Stderr, "fedsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -107,8 +130,83 @@ experiments:
   ablation-linkage A2: FedClust under each HC linkage
   ablation-selector A3: automatic cluster-count rules
   ablation-compression A4: lossy upload codecs
+  stragglers       H1: system heterogeneity (stragglers, dropouts, staleness)
 
-flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N`)
+flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N
+scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c`)
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: bad rate %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runStragglers(quick bool, seed uint64, scenarioOn bool, deadline, stragglerFrac float64,
+	dropoutRates []float64, methodList []string, csvPath string) {
+	fmt.Println("== H1: system heterogeneity — stragglers, dropouts, staleness ==")
+	// Validate scenario settings up front: scenario.New panics on bad
+	// config, and a mid-sweep stack trace after minutes of training is a
+	// poor way to report a typo.
+	for _, r := range dropoutRates {
+		if r < 0 || r >= 1 {
+			fmt.Fprintf(os.Stderr, "fedsim: dropout rate %v out of [0,1)\n", r)
+			os.Exit(2)
+		}
+	}
+	if stragglerFrac < 0 || stragglerFrac > 1 {
+		fmt.Fprintf(os.Stderr, "fedsim: straggler fraction %v out of [0,1]\n", stragglerFrac)
+		os.Exit(2)
+	}
+	if deadline <= 0 {
+		fmt.Fprintf(os.Stderr, "fedsim: non-positive deadline %v\n", deadline)
+		os.Exit(2)
+	}
+	opts := experiments.DefaultStragglerOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Scenario = scenarioOn
+	opts.Deadline = deadline
+	opts.StragglerFrac = stragglerFrac
+	if len(dropoutRates) > 0 {
+		opts.DropoutRates = dropoutRates
+	}
+	if len(methodList) > 0 {
+		opts.Methods = methodList
+	}
+	opts.Progress = os.Stdout
+	res := experiments.RunStragglers(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		header, rows := res.CSV()
+		if err := experiments.WriteCSV(f, header, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
 }
 
 func parseSeeds(s string) []uint64 {

@@ -1,0 +1,91 @@
+// Stragglers: training under system heterogeneity — slow devices,
+// per-round dropouts, and staleness-aware aggregation.
+//
+// The scenario layer (internal/scenario) gives each client a seeded
+// compute-speed profile and availability trace, and each round a virtual
+// deadline. Slow clients finish only part of their local pass by the
+// deadline (partial work, down-weighted in the average); offline clients
+// report nothing. The example runs FedAvg, its stale-decay variant
+// (missing clients are represented by their decayed last update), and the
+// buffered semi-async FedBuff (stragglers' full updates arrive rounds
+// late and fold in with staleness-decayed weight) under increasingly
+// hostile conditions — and shows the whole stack stays bit-deterministic:
+// the same seed yields the same stragglers, the same dropouts, the same
+// accuracy, every run.
+//
+//	go run ./examples/stragglers
+package main
+
+import (
+	"fmt"
+
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/scenario"
+)
+
+func main() {
+	const seed = 7
+	cfg := data.SynthFMNIST(seed)
+	cfg.TrainPerClass, cfg.TestPerClass = 120, 40
+	train, test := data.Generate(cfg)
+
+	build := func() *fl.Env {
+		r := rng.New(seed)
+		clients := fl.BuildDirichletClients(train, test, 10, 0.5, r.Derive(0x57a))
+		return &fl.Env{
+			Clients: clients,
+			Factory: func(fr *rng.Rng) *nn.Sequential {
+				return nn.LeNet5(fr, cfg.C, cfg.H, cfg.W, cfg.Classes, 0.5)
+			},
+			Rounds: 8,
+			Local:  fl.LocalConfig{Epochs: 2, BatchSize: 32, LR: 0.02, Momentum: 0.5},
+			Seed:   seed,
+		}
+	}
+
+	trainers := []fl.Trainer{methods.FedAvg{}, methods.FedAvgStale{}, methods.FedBuff{}}
+
+	fmt.Printf("%-28s  %-8s  %-12s  %-8s\n", "scenario", "FedAvg", "FedAvgStale", "FedBuff")
+	for _, sc := range []struct {
+		name string
+		cfg  *scenario.Config
+	}{
+		{"ideal (scenario off)", nil},
+		{"30% stragglers", &scenario.Config{StragglerFrac: 0.3, SlowdownMax: 4}},
+		{"+ 30% dropout/round", &scenario.Config{StragglerFrac: 0.3, SlowdownMax: 4, DropoutRate: 0.3}},
+		{"+ tight deadline 0.5", &scenario.Config{StragglerFrac: 0.3, SlowdownMax: 4, DropoutRate: 0.3, Deadline: 0.5}},
+	} {
+		env := build()
+		if sc.cfg != nil {
+			model := scenario.New(*sc.cfg, seed, len(env.Clients))
+			env.Participation.Scenario = model
+			if sc.cfg.StragglerFrac > 0 && sc.cfg.DropoutRate == 0 {
+				slow := 0
+				for _, p := range model.Profiles() {
+					if p.Straggler {
+						slow++
+					}
+				}
+				fmt.Printf("  (cohort drawn: %d/%d slow clients)\n", slow, len(env.Clients))
+			}
+		}
+		fmt.Printf("%-28s", sc.name)
+		for _, tr := range trainers {
+			res := tr.Run(env)
+			fmt.Printf("  %6.2f%%", 100*res.FinalAcc)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWith everyone on time the three aggregators nearly coincide. As the")
+	fmt.Println("deadline tightens, plain FedAvg aggregates ever-thinner partial passes,")
+	fmt.Println("while the stale-decay server keeps every client's last update steering")
+	fmt.Println("the global — late, down-weighted, but not lost — and pulls ahead.")
+	fmt.Println("FedBuff never waits for anyone: it pays for that in accuracy here, the")
+	fmt.Println("classic semi-async tradeoff (wall-clock per round would be bounded by")
+	fmt.Println("the buffer, not by the slowest invited device).")
+}

@@ -14,6 +14,7 @@ import (
 	"fedclust/internal/engine"
 	"fedclust/internal/fl"
 	"fedclust/internal/methods"
+	"fedclust/internal/scenario"
 )
 
 // wireFedAvg wires the FedAvg hooks onto a driver without running it —
@@ -62,6 +63,38 @@ func TestRoundDriverWarmRoundZeroAllocs(t *testing.T) {
 
 	if n := testing.AllocsPerRun(200, step); n != 0 {
 		t.Fatalf("warm round allocates %v times, want 0", n)
+	}
+}
+
+// TestRoundDriverWarmScenarioRoundZeroAllocs: the scenario layer must
+// preserve the PR 3 invariant — a warm round with stragglers, dropouts,
+// partial-work weighting, and the per-client outcome fill allocates
+// nothing. Every scenario outcome query reseeds a stack Rng, the
+// outcome/mask buffers are client-indexed arrays in the cached runtime,
+// and the reported set reuses the sampling buffer.
+func TestRoundDriverWarmScenarioRoundZeroAllocs(t *testing.T) {
+	env := goldenEnv(23, 1<<20, fl.Participation{Fraction: 0.8, DropRate: 0.1})
+	env.EvalEvery = 2
+	env.Participation.Scenario = scenario.New(scenario.Config{
+		StragglerFrac: 0.5, SlowdownMax: 4, DropoutRate: 0.25,
+		Deadline: 0.75, Jitter: 0.2,
+	}, 23, len(env.Clients))
+	d := engine.New(env, "alloc-scenario")
+	wireFedAvg(d)
+
+	round := 0
+	step := func() {
+		d.RunRound(round)
+		round++
+	}
+	for round < 4 {
+		step()
+	}
+	d.Res.Comm.PerRound = append(make([]fl.RoundComm, 0, 1<<12), d.Res.Comm.PerRound...)
+	d.Res.History = append(make([]fl.RoundMetrics, 0, 1<<12), d.Res.History...)
+
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Fatalf("warm scenario round allocates %v times, want 0", n)
 	}
 }
 

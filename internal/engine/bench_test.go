@@ -8,6 +8,7 @@ import (
 	"fedclust/internal/methods"
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
+	"fedclust/internal/scenario"
 )
 
 // benchEnv mirrors the golden equivalence workload: 6 clients in two
@@ -41,4 +42,41 @@ func BenchmarkRoundDriverRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		methods.FedAvg{}.Run(env)
 	}
+}
+
+// BenchmarkRoundDriverRoundScenario is BenchmarkRoundDriverRound with
+// the system-heterogeneity layer active (stragglers, dropouts, jitter,
+// partial-work weighting) — the direct scenario-on/off comparison for
+// BENCH_pr4.json. Skipped dropouts make scenario rounds cheaper than
+// ideal ones; the point of the pair is that the layer's own bookkeeping
+// adds no allocations and negligible time.
+func BenchmarkRoundDriverRoundScenario(b *testing.B) {
+	env := benchEnv(1)
+	env.Participation.Scenario = scenario.New(scenario.Config{
+		StragglerFrac: 0.3, SlowdownMax: 4, DropoutRate: 0.2,
+		Deadline: 0.75, Jitter: 0.2,
+	}, 21, len(env.Clients))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		methods.FedAvg{}.Run(env)
+	}
+}
+
+// BenchmarkScenarioOutcome measures one per-(client, round) outcome
+// query — the engine calls this n times per round, so it must stay in
+// the tens of nanoseconds with zero allocations.
+func BenchmarkScenarioOutcome(b *testing.B) {
+	m := scenario.New(scenario.Config{
+		StragglerFrac: 0.3, SlowdownMax: 4, DropoutRate: 0.2,
+		Deadline: 0.75, Jitter: 0.2,
+	}, 21, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		done, lag := m.Outcome(i&63, i>>6, 2)
+		sink += done + lag
+	}
+	_ = sink
 }

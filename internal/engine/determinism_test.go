@@ -17,6 +17,7 @@ import (
 	"fedclust/internal/core"
 	"fedclust/internal/fl"
 	"fedclust/internal/methods"
+	"fedclust/internal/scenario"
 )
 
 // trainersUnderTest covers the default Local hook (FedAvg), partial
@@ -69,6 +70,43 @@ func TestResultsBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
 			if got != want {
 				t.Errorf("%s: GOMAXPROCS=%d diverged:\n  got  %s\n  want %s",
 					tr.Name(), procs, got, want)
+			}
+		}
+	}
+}
+
+// TestScenarioResultsBitIdenticalAcrossWorkerCounts extends the matrix
+// to scenario-enabled rounds: straggler rates 0 and 0.3 (with dropouts
+// and jitter alongside) × Workers 1/2/8. The scenario outcomes are
+// computed serially before the parallel phase and keyed only by
+// (client, round), so which worker trains a straggler's partial pass —
+// or skips a dropout — must not move a single bit. The matrix also
+// covers both scenario interpretations: synchronous partial work
+// (FedAvg, IFCA, FedClust) and semi-async late delivery (FedAvgStale,
+// FedBuff).
+func TestScenarioResultsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	trainers := append(determinismTrainers(),
+		methods.FedAvgStale{}, methods.FedBuff{})
+	for _, rate := range []float64{0, 0.3} {
+		for _, tr := range trainers {
+			var want string
+			for _, workers := range []int{1, 2, 8} {
+				env := goldenEnv(34, 3, fl.Participation{})
+				env.EvalEvery = 1
+				env.Workers = workers
+				env.Participation.Scenario = scenario.New(scenario.Config{
+					StragglerFrac: rate, SlowdownMax: 4, DropoutRate: rate / 2,
+					Deadline: 0.75, Jitter: 0.2,
+				}, 34, len(env.Clients))
+				got := fingerprint(tr.Run(env))
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s (straggler rate %v): workers=%d diverged:\n  got  %s\n  want %s",
+						tr.Name(), rate, workers, got, want)
+				}
 			}
 		}
 	}

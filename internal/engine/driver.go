@@ -39,6 +39,11 @@ type ClientCtx struct {
 	Model *nn.Sequential
 	// Client is the client index, Round the 0-based round.
 	Client, Round int
+	// Epochs is the number of local epochs this visit should run. 0 means
+	// the configured Env.Local.Epochs; a scenario-enabled round sets it to
+	// the client's completed-epoch count (stragglers run a partial pass).
+	// Hooks that train through LocalConfig() honor it automatically.
+	Epochs int
 	// Start is this client's entry from the Broadcast hook (nil when the
 	// method sets no Broadcast hook).
 	Start []float64
@@ -63,6 +68,19 @@ type ClientCtx struct {
 func (c *ClientCtx) VisitRng() *rng.Rng {
 	c.Env.ClientRngInto(&c.rng, c.Client, c.Round)
 	return &c.rng
+}
+
+// LocalConfig returns the local-training configuration for this visit:
+// the environment's LocalConfig with the epoch count overridden by the
+// scenario's completed-epoch budget when one is in force. Custom Local
+// hooks should train with it so stragglers run partial passes under
+// them too.
+func (c *ClientCtx) LocalConfig() fl.LocalConfig {
+	cfg := c.Env.Local
+	if c.Epochs > 0 {
+		cfg.Epochs = c.Epochs
+	}
+	return cfg
 }
 
 // Hooks are the method-specific parts of a round. Aggregate and Served
@@ -107,8 +125,23 @@ type RoundDriver struct {
 	Hooks Hooks
 	// FullParticipation bypasses Env.Participation sampling: every client
 	// is invited and reports each round (the clustered-FL literature's
-	// setting; FedAvg-style trainers leave it false).
+	// setting; FedAvg-style trainers leave it false). A
+	// Participation.Scenario still applies: all clients are invited, but
+	// the scenario decides who reports on time.
 	FullParticipation bool
+	// Async switches the scenario interpretation to semi-async delivery:
+	// slow clients run their full local pass (instead of being cut off at
+	// the deadline) and only clients whose update arrives on time (lag 0)
+	// count as reported; the method's Aggregate hook is expected to
+	// collect late arrivals itself via ScenarioOutcome. No effect without
+	// a scenario.
+	Async bool
+	// AggregateEmptyRounds calls the Aggregate hook even on scenario
+	// rounds where nobody reported. Methods with server-side state that
+	// progresses without fresh reports (FedAvgStale's cached updates,
+	// buffered semi-async arrivals) set it; the default skips the hook so
+	// plain gathers never fold an empty set.
+	AggregateEmptyRounds bool
 	// NumParams is the scalar parameter count of the environment's model.
 	NumParams int
 	// Locals[i] is client i's reported flat parameters for the current
@@ -200,17 +233,19 @@ func DefaultLocal(ctx *ClientCtx) {
 		ctx.Scratch = &fl.TrainScratch{}
 	}
 	nn.LoadParams(ctx.Model, ctx.Start)
-	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.Env.Local, ctx.VisitRng())
+	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.LocalConfig(), ctx.VisitRng())
 	nn.FlattenParamsInto(ctx.Model, ctx.Out)
 }
 
 // Gather collects the reported clients' local vectors and aggregation
 // weights into reused scratch slices (valid until the next Gather call).
+// Under an active scenario the weights reflect partial work: a straggler
+// that finished only k of E epochs counts with k/E of its sample weight.
 func (d *RoundDriver) Gather(reported []int) (vecs [][]float64, ws []float64) {
 	vecs, ws = d.es.gatherVecs[:0], d.es.gatherWs[:0]
 	for _, i := range reported {
 		vecs = append(vecs, d.Locals[i])
-		ws = append(ws, d.Weights[i])
+		ws = append(ws, d.ReportWeight(i))
 	}
 	d.es.gatherVecs, d.es.gatherWs = vecs, ws
 	return vecs, ws
@@ -218,17 +253,63 @@ func (d *RoundDriver) Gather(reported []int) (vecs [][]float64, ws []float64) {
 
 // GatherCluster collects the local vectors and weights of the clients
 // assigned to cluster id, in client order (reused scratch, as Gather).
+// Under an active scenario only clients in the round's reported set are
+// gathered — a cluster whose every member missed the deadline yields an
+// empty gather, which callers must skip.
 func (d *RoundDriver) GatherCluster(assign []int, id int) (vecs [][]float64, ws []float64) {
 	vecs, ws = d.es.gatherVecs[:0], d.es.gatherWs[:0]
 	for i, a := range assign {
-		if a == id {
-			vecs = append(vecs, d.Locals[i])
-			ws = append(ws, d.Weights[i])
+		if a != id {
+			continue
 		}
+		if d.es.scenOn && !d.es.repMask[i] {
+			continue
+		}
+		vecs = append(vecs, d.Locals[i])
+		ws = append(ws, d.ReportWeight(i))
 	}
 	d.es.gatherVecs, d.es.gatherWs = vecs, ws
 	return vecs, ws
 }
+
+// ReportWeight is client i's aggregation weight for the current round:
+// its training-set size, scaled under an active synchronous scenario by
+// the fraction of the configured local pass it actually completed.
+func (d *RoundDriver) ReportWeight(i int) float64 {
+	w := d.Weights[i]
+	if d.es.scenOn && !d.Async && d.es.done[i] < d.es.cfgEpochs {
+		w *= float64(d.es.done[i]) / float64(d.es.cfgEpochs)
+	}
+	return w
+}
+
+// ScenarioActive reports whether the current round runs under a
+// Participation.Scenario.
+func (d *RoundDriver) ScenarioActive() bool { return d.es.scenOn }
+
+// ScenarioOutcome returns client i's scenario outcome for the current
+// round — completed epochs by the deadline and delivery lag in rounds
+// (0 on time, negative offline). Valid during the round's hooks; without
+// an active scenario it reports a nominal on-time client.
+func (d *RoundDriver) ScenarioOutcome(i int) (done, lag int) {
+	if !d.es.scenOn {
+		return d.Env.Local.Epochs, 0
+	}
+	return d.es.done[i], d.es.lag[i]
+}
+
+// Reported reports whether client i is in the current round's reported
+// set (valid during the round's hooks).
+func (d *RoundDriver) Reported(i int) bool {
+	if !d.es.scenOn {
+		return true
+	}
+	return d.es.repMask[i]
+}
+
+// InvitedThisRound returns the current round's invited client set (valid
+// during the round's hooks; aliases engine scratch — do not retain).
+func (d *RoundDriver) InvitedThisRound() []int { return d.es.curInvited }
 
 // Run executes the round schedule and returns the accumulated result.
 func (d *RoundDriver) Run() *fl.Result {
@@ -264,12 +345,19 @@ func (d *RoundDriver) RunRound(round int) {
 	}
 	es.curInvited, es.curStarts, es.curRound = invited, starts, round
 	env.ParallelClientsWorker(len(invited), es.clientTask)
-	es.curInvited, es.curStarts = nil, nil
+	es.curStarts = nil
 	d.Res.Comm.Upload(len(reported), d.uplink(round))
-	d.Hooks.Aggregate(round, reported)
+	// A scenario round where every device missed the deadline is wasted:
+	// there is nothing for a synchronous method to fold. Methods whose
+	// server state progresses anyway (late arrivals due, cached updates
+	// to decay) opt in via Async / AggregateEmptyRounds.
+	if len(reported) > 0 || d.Async || d.AggregateEmptyRounds {
+		d.Hooks.Aggregate(round, reported)
+	}
 	if d.Hooks.OnRoundEnd != nil {
 		d.Hooks.OnRoundEnd(round)
 	}
+	es.curInvited = nil
 	d.Res.Comm.EndRound(round + 1)
 
 	if env.ShouldEval(round) {
@@ -310,14 +398,64 @@ func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64
 }
 
 // sample draws the round's invited and reporting sets into reused
-// buffers.
+// buffers, then fills the round's scenario state (outcomes per invited
+// client, the reported mask) when a scenario is in force.
 func (d *RoundDriver) sample(round int) (invited, reported []int) {
-	if d.FullParticipation {
-		return d.es.all, d.es.all
+	es := d.es
+	sc := d.Env.Participation.Scenario
+	es.scenOn = sc != nil
+	if sc == nil {
+		if d.FullParticipation {
+			return es.all, es.all
+		}
+		inv, rep := d.Env.SampleRoundInto(round, es.invited, es.reported)
+		d.es.invited, d.es.reported = inv, rep
+		return inv, rep
 	}
-	inv, rep := d.Env.SampleRoundInto(round, d.es.invited, d.es.reported)
-	d.es.invited, d.es.reported = inv, rep
-	return inv, rep
+
+	if d.FullParticipation {
+		// Everyone is invited; the scenario alone decides who reports.
+		invited = es.all
+		reported = es.reported[:0]
+	} else {
+		// SampleRoundInto already applied the synchronous scenario filter
+		// (done ≥ 1) on top of the DropRate losses.
+		invited, reported = d.Env.SampleRoundInto(round, es.invited, es.reported)
+		es.invited = invited
+	}
+	es.cfgEpochs = d.Env.Local.Epochs
+	if es.cfgEpochs < 1 {
+		es.cfgEpochs = 1
+	}
+	for _, c := range invited {
+		es.done[c], es.lag[c] = sc.Outcome(c, round, es.cfgEpochs)
+	}
+	if d.FullParticipation {
+		for _, c := range invited {
+			if (d.Async && es.lag[c] == 0) || (!d.Async && es.done[c] > 0) {
+				reported = append(reported, c)
+			}
+		}
+	} else if d.Async {
+		// Tighten the synchronous filter to on-time deliveries only: a
+		// straggler's partial pass is not accepted — its full update
+		// arrives lag rounds late instead.
+		kept := reported[:0]
+		for _, c := range reported {
+			if es.lag[c] == 0 {
+				kept = append(kept, c)
+			}
+		}
+		reported = kept
+	}
+	es.reported = reported
+	for i := range es.repMask {
+		es.repMask[i] = false
+	}
+	for _, c := range reported {
+		es.repMask[c] = true
+	}
+	return invited, reported
 }
 
 func (d *RoundDriver) downlink(round int) int {

@@ -47,6 +47,16 @@ type envState struct {
 	evalLast          [][]float64
 	perClient         []float64
 
+	// Scenario state for the current round (client-indexed), filled by
+	// RunRound before the parallel phase when the environment carries a
+	// Participation.Scenario. scenOn gates every scenario branch so a
+	// scenario-free round takes exactly the pre-scenario code path.
+	scenOn    bool
+	cfgEpochs int    // configured local epochs the outcomes refer to
+	done      []int  // epochs finished by the deadline (invited clients)
+	lag       []int  // rounds late (0 on time, <0 offline)
+	repMask   []bool // reported-set membership, for cluster gathers
+
 	// Method-level scratch handed out by RoundDriver.InitGlobal and
 	// StartsBuf (the global-model and clustered-FedAvg wiring).
 	global []float64
@@ -92,12 +102,31 @@ func newEnvState(env *fl.Env) *envState {
 	es.gatherWs = make([]float64, 0, n)
 	es.evalLast = make([][]float64, es.pool.Size())
 	es.perClient = make([]float64, n)
+	es.done = make([]int, n)
+	es.lag = make([]int, n)
+	es.repMask = make([]bool, n)
 
 	es.clientTask = func(w, j int) {
 		i := es.curInvited[j]
+		epochs := 0
+		if es.scenOn {
+			switch {
+			case es.lag[i] < 0:
+				return // offline: no work happens at all
+			case es.d.Async:
+				// Semi-async: slow clients run their full pass; only the
+				// delivery is late. The aggregator reads the lag.
+				epochs = es.cfgEpochs
+			case es.done[i] == 0:
+				return // sync dropout: work discarded, skip the compute
+			default:
+				epochs = es.done[i] // straggler: partial pass by deadline
+			}
+		}
 		ctx := es.ctxs[w]
 		ctx.Model = es.pool.Get(w)
 		ctx.Client, ctx.Round = i, es.curRound
+		ctx.Epochs = epochs
 		ctx.Start = nil
 		if es.curStarts != nil {
 			ctx.Start = es.curStarts[i]

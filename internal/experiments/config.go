@@ -139,6 +139,10 @@ func NewTrainer(name string, w Workload) fl.Trainer {
 		return methods.PACFL{}
 	case "FedClust":
 		return &core.FedClust{}
+	case "FedAvgStale":
+		return methods.FedAvgStale{}
+	case "FedBuff":
+		return methods.FedBuff{}
 	default:
 		panic(fmt.Sprintf("experiments: unknown method %q", name))
 	}

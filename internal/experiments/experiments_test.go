@@ -399,3 +399,65 @@ func TestRunCompressionQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestNewTrainerStalenessMethods(t *testing.T) {
+	w := QuickWorkload("fmnist")
+	for _, m := range []string{"FedAvgStale", "FedBuff"} {
+		if tr := NewTrainer(m, w); tr.Name() != m {
+			t.Fatalf("trainer for %q reports name %q", m, tr.Name())
+		}
+	}
+}
+
+func TestRunStragglersTiny(t *testing.T) {
+	skipInShort(t)
+	opts := DefaultStragglerOptions()
+	opts.Quick = true
+	opts.DropoutRates = []float64{0, 0.3}
+	opts.Methods = []string{"FedAvg", "FedAvgStale", "FedClust"}
+	res := RunStragglers(opts)
+	for _, m := range opts.Methods {
+		for _, rate := range opts.DropoutRates {
+			c, ok := res.Cells[m][rate]
+			if !ok {
+				t.Fatalf("missing cell %s @ %v", m, rate)
+			}
+			if c.Acc <= 0 || c.Acc > 1 {
+				t.Fatalf("%s drop=%v acc %v", m, rate, c.Acc)
+			}
+		}
+	}
+	// FedClust still forms clusters under the scenario; FedAvg never does.
+	if res.Cells["FedClust"][0.3].FormationRound < 0 {
+		t.Fatal("FedClust reported no formation round under scenario")
+	}
+	if res.Cells["FedAvg"][0].FormationRound != -1 {
+		t.Fatal("FedAvg reported a formation round")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "acc@drop=0.3") || !strings.Contains(out, "formed@drop=0.3") {
+		t.Fatalf("render missing sweep columns:\n%s", out)
+	}
+	header, rows := res.CSV()
+	if len(header) != 4 || len(rows) != len(opts.Methods)*len(opts.DropoutRates) {
+		t.Fatalf("CSV shape %d×%d", len(header), len(rows))
+	}
+}
+
+func TestRunStragglersControlSkipsSweep(t *testing.T) {
+	skipInShort(t)
+	opts := DefaultStragglerOptions()
+	opts.Quick = true
+	opts.Scenario = false
+	opts.DropoutRates = []float64{0, 0.5}
+	opts.Methods = []string{"FedAvg"}
+	res := RunStragglers(opts)
+	if _, ok := res.Cells["FedAvg"][0]; !ok {
+		t.Fatal("control run missing baseline cell")
+	}
+	if _, ok := res.Cells["FedAvg"][0.5]; ok {
+		t.Fatal("control run should stop after the first rate")
+	}
+}

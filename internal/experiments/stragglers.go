@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/scenario"
+)
+
+// StragglerOptions configures the system-heterogeneity sweep (experiment
+// H1): every method trained under a deterministic straggler/dropout
+// scenario at increasing per-round dropout rates.
+type StragglerOptions struct {
+	Dataset string
+	// DropoutRates are the per-round offline probabilities swept.
+	DropoutRates []float64
+	// StragglerFrac/SlowdownMax/Deadline/Jitter parameterize the
+	// scenario model (see scenario.Config).
+	StragglerFrac float64
+	SlowdownMax   float64
+	Deadline      float64
+	Jitter        float64
+	// Scenario disables the heterogeneity layer entirely when false —
+	// the control sweep (rates are then ignored beyond the first).
+	Scenario bool
+	Methods  []string
+	Seed     uint64
+	Quick    bool
+	Progress io.Writer
+}
+
+// DefaultStragglerOptions sweeps dropout 0 → 0.5 with a 30% straggler
+// cohort under the paper's six methods plus the two staleness-aware
+// aggregators.
+func DefaultStragglerOptions() StragglerOptions {
+	return StragglerOptions{
+		Dataset:       "fmnist",
+		DropoutRates:  []float64{0, 0.1, 0.3, 0.5},
+		StragglerFrac: 0.3,
+		SlowdownMax:   4,
+		Deadline:      1,
+		Scenario:      true,
+		Methods:       append(append([]string{}, MethodNames...), "FedAvgStale", "FedBuff"),
+		Seed:          1,
+	}
+}
+
+// StragglerCell is one (method, dropout-rate) outcome.
+type StragglerCell struct {
+	Acc            float64
+	FormationRound int
+}
+
+// StragglerResult holds the sweep grid plus the drawn scenario shape.
+type StragglerResult struct {
+	Rates      []float64
+	Methods    []string
+	Cells      map[string]map[float64]StragglerCell
+	Stragglers int // clients in the slow cohort (population-level, rate-independent)
+	Clients    int
+}
+
+// RunStragglers trains every method at every dropout rate under a seeded
+// scenario model and records final personalized accuracy and the
+// cluster-formation round.
+func RunStragglers(opts StragglerOptions) *StragglerResult {
+	res := &StragglerResult{Rates: opts.DropoutRates, Methods: opts.Methods,
+		Cells: map[string]map[float64]StragglerCell{}}
+	for _, m := range opts.Methods {
+		res.Cells[m] = map[float64]StragglerCell{}
+	}
+	// One environment serves the whole sweep: only the scenario model
+	// differs per rate, and warm engine-runtime reuse is bit-equivalent
+	// to a fresh build (pinned by the engine's warm-runtime tests).
+	var w Workload
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+		// Partial work needs a divisible local pass: with the quick
+		// preset's single epoch a straggler either finishes everything or
+		// nothing, and the sweep would measure permanent exclusion
+		// instead of the partial-epoch weighting it exists to exercise.
+		w.Epochs = 2
+	} else {
+		w = PaperWorkload(opts.Dataset)
+	}
+	env := BuildEnv(w, opts.Seed)
+	res.Clients = len(env.Clients)
+	for _, rate := range opts.DropoutRates {
+		env.Participation.Scenario = nil
+		if opts.Scenario {
+			model := scenario.New(scenario.Config{
+				StragglerFrac: opts.StragglerFrac,
+				SlowdownMax:   opts.SlowdownMax,
+				DropoutRate:   rate,
+				Deadline:      opts.Deadline,
+				Jitter:        opts.Jitter,
+			}, opts.Seed, len(env.Clients))
+			env.Participation.Scenario = model
+			res.Stragglers = model.Stragglers()
+		}
+		for _, m := range opts.Methods {
+			r := NewTrainer(m, w).Run(env)
+			res.Cells[m][rate] = StragglerCell{Acc: r.FinalAcc, FormationRound: r.ClusterFormationRound}
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "  drop=%-4v %-12s acc=%.2f%% formed@%d\n",
+					rate, m, 100*r.FinalAcc, r.ClusterFormationRound)
+			}
+		}
+		if !opts.Scenario {
+			break // control run: nothing varies across rates
+		}
+	}
+	return res
+}
+
+// Render prints accuracy and cluster-formation grids (method × rate).
+func (r *StragglerResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenario: %d/%d clients in the straggler cohort\n\n", r.Stragglers, r.Clients)
+	header := []string{"Method"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("acc@drop=%v", rate))
+	}
+	tab := NewTable(header...)
+	for _, m := range r.Methods {
+		row := []string{m}
+		for _, rate := range r.Rates {
+			c, ok := r.Cells[m][rate]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", 100*c.Acc))
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(w)
+
+	fmt.Fprintln(w)
+	header = []string{"Method"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("formed@drop=%v", rate))
+	}
+	form := NewTable(header...)
+	for _, m := range r.Methods {
+		row := []string{m}
+		for _, rate := range r.Rates {
+			c, ok := r.Cells[m][rate]
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case c.FormationRound < 0:
+				row = append(row, "n/a")
+			default:
+				row = append(row, fmt.Sprintf("%d", c.FormationRound))
+			}
+		}
+		form.AddRow(row...)
+	}
+	form.Render(w)
+}
+
+// CSV flattens the sweep for WriteCSV.
+func (r *StragglerResult) CSV() (header []string, rows [][]string) {
+	header = []string{"method", "dropout_rate", "acc_pct", "formation_round"}
+	for _, m := range r.Methods {
+		for _, rate := range r.Rates {
+			c, ok := r.Cells[m][rate]
+			if !ok {
+				continue
+			}
+			rows = append(rows, []string{m, fmt.Sprintf("%v", rate),
+				fmt.Sprintf("%.2f", 100*c.Acc), fmt.Sprintf("%d", c.FormationRound)})
+		}
+	}
+	return header, rows
+}
+
+// ShapeChecks verifies the expected system-heterogeneity behaviour.
+func (r *StragglerResult) ShapeChecks() []string {
+	var out []string
+	if len(r.Rates) < 2 {
+		return out
+	}
+	// -dropouts order is user-controlled; compare the extreme rates, not
+	// the first and last listed.
+	lo, hi := r.Rates[0], r.Rates[0]
+	for _, rate := range r.Rates[1:] {
+		if rate < lo {
+			lo = rate
+		}
+		if rate > hi {
+			hi = rate
+		}
+	}
+	check := func(ok bool, format string, args ...any) {
+		s := "PASS"
+		if !ok {
+			s = "FAIL"
+		}
+		out = append(out, fmt.Sprintf("[%s] ", s)+fmt.Sprintf(format, args...))
+	}
+	c, okLo := r.Cells["FedAvg"][lo]
+	chi, okHi := r.Cells["FedAvg"][hi]
+	if okLo && okHi {
+		check(c.Acc+0.03 >= chi.Acc,
+			"FedAvg does not improve under dropout (%.1f%% @ %v vs %.1f%% @ %v)",
+			100*c.Acc, lo, 100*chi.Acc, hi)
+	}
+	if s, ok := r.Cells["FedAvgStale"][hi]; ok && okHi {
+		check(s.Acc+0.05 >= chi.Acc,
+			"stale-decay aggregation holds up at drop=%v (%.1f%% vs FedAvg %.1f%%)",
+			hi, 100*s.Acc, 100*chi.Acc)
+	}
+	return out
+}

@@ -6,6 +6,29 @@ import (
 	"fedclust/internal/rng"
 )
 
+// RoundScenario models system heterogeneity layered over participation
+// sampling: per-client compute speed and availability. Implementations
+// (internal/scenario) must be pure — Outcome is a deterministic function
+// of (client, round) alone, never of call order or call count — because
+// the engine and the sampler both query it and determinism across worker
+// counts depends on repeatable answers. Outcome must also not allocate:
+// it runs inside the engine's zero-allocation warm round.
+type RoundScenario interface {
+	// Outcome reports how invited client c behaves in a round, given the
+	// configured local epoch count. done is the number of local epochs
+	// the client finishes before the round's virtual deadline (0 = its
+	// update does not arrive on time). lag is the number of additional
+	// rounds the client's full-epoch update needs before it would reach
+	// the server: 0 means on time, k > 0 means it arrives k rounds late
+	// (semi-async aggregators consume it then), and lag < 0 means the
+	// client is offline this round and never reports.
+	//
+	// Invariants implementations must keep: done == epochs ⇔ lag == 0,
+	// and done == 0 ⇒ lag != 0 (a client that finished nothing by the
+	// deadline is either late or offline).
+	Outcome(client, round, epochs int) (done, lag int)
+}
+
 // Participation controls per-round client sampling and failure injection.
 // The zero value means full participation with no failures — the setting
 // of the paper's experiments. FedAvg-style trainers honor it; clustered
@@ -21,6 +44,14 @@ type Participation struct {
 	DropRate float64
 	// MinClients lower-bounds the invited set (default 1).
 	MinClients int
+	// Scenario, when non-nil, layers a system-heterogeneity model over
+	// the sampled sets: invited clients that the scenario marks offline
+	// or too slow to finish a single epoch by the round's deadline are
+	// removed from reported (on top of DropRate losses), and clients
+	// that finish only part of their local pass report partial work.
+	// Unlike the DropRate path, a scenario round may report nobody —
+	// the engine skips aggregation for such wasted rounds.
+	Scenario RoundScenario
 }
 
 // Validate panics on out-of-range settings.
@@ -37,9 +68,10 @@ func (p Participation) Validate() {
 }
 
 // SampleRound draws the round's invited and reporting client sets,
-// deterministically from the environment seed. reported is always
-// non-empty (if every invited client would drop, one survivor is kept so
-// the round is not wasted).
+// deterministically from the environment seed. Without a Scenario,
+// reported is always non-empty (if every invited client would drop, one
+// survivor is kept so the round is not wasted); a Scenario may empty it
+// — a round where every device missed the deadline is genuinely wasted.
 func (e *Env) SampleRound(round int) (invited, reported []int) {
 	return e.SampleRoundInto(round, nil, nil)
 }
@@ -81,15 +113,40 @@ func (e *Env) SampleRoundInto(round int, invitedBuf, reportedBuf []int) (invited
 	// Failure injection.
 	reported = reportedBuf[:0]
 	if p.DropRate == 0 {
-		return invited, append(reported, invited...)
-	}
-	for _, c := range invited {
-		if r.Float64() >= p.DropRate {
-			reported = append(reported, c)
+		reported = append(reported, invited...)
+	} else {
+		for _, c := range invited {
+			if r.Float64() >= p.DropRate {
+				reported = append(reported, c)
+			}
+		}
+		if len(reported) == 0 {
+			reported = append(reported, invited[r.Intn(len(invited))])
 		}
 	}
-	if len(reported) == 0 {
-		reported = append(reported, invited[r.Intn(len(invited))])
+	// Scenario layer: drop clients whose update misses the round's
+	// virtual deadline entirely. The filter runs after (and independent
+	// of) the DropRate draws, so enabling a scenario never disturbs the
+	// crash-loss stream — and a scenario whose every outcome is on-time
+	// leaves reported bit-identical to the scenario-free draw.
+	if p.Scenario != nil {
+		kept := reported[:0]
+		for _, c := range reported {
+			if done, _ := p.Scenario.Outcome(c, round, e.scenarioEpochs()); done > 0 {
+				kept = append(kept, c)
+			}
+		}
+		reported = kept
 	}
 	return invited, reported
+}
+
+// scenarioEpochs is the configured local epoch count handed to scenario
+// outcome queries (floored at 1 so a zero-valued LocalConfig cannot make
+// every client a dropout).
+func (e *Env) scenarioEpochs() int {
+	if e.Local.Epochs < 1 {
+		return 1
+	}
+	return e.Local.Epochs
 }

@@ -72,7 +72,14 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 		deltas[i] = deltaArena[i*d.NumParams : (i+1)*d.NumParams]
 	}
 	lastChange := 0
-	var refNorm float64 // max client-update norm of round 0: the scale reference
+	// refNorm is the max client-update norm of the first aggregated
+	// round: the scale reference for the Eps2 convergence guard. Without
+	// a scenario that is always round 0; under one, the first round where
+	// anything arrived (a round with no reports skips Aggregate, and
+	// anchoring on it would freeze refNorm at 0 and disable splitting
+	// forever).
+	refRound := -1
+	var refNorm float64
 
 	d.Hooks.Broadcast = func(round int) [][]float64 {
 		for i := range starts {
@@ -85,11 +92,30 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 		fl.DeltaInto(deltas[ctx.Client], ctx.Out, ctx.Start)
 	}
 	d.Hooks.Aggregate = func(round int, reported []int) {
+		if refRound < 0 {
+			refRound = round
+		}
 		// Aggregate per cluster, then consider splitting each cluster.
 		ids := clusterIDs(assign)
 		for _, id := range ids {
 			members := membersOf(assign, id)
+			// Under a scenario, split statistics may only use updates
+			// that actually arrived this round — deltas of stragglers
+			// and dropouts are stale (or never written). membersOf
+			// returns a fresh slice, so filtering in place is safe.
+			if d.ScenarioActive() {
+				arrived := members[:0]
+				for _, i := range members {
+					if d.Reported(i) {
+						arrived = append(arrived, i)
+					}
+				}
+				members = arrived
+			}
 			vecs, ws := d.GatherCluster(assign, id)
+			if len(vecs) == 0 {
+				continue // every member missed the deadline this round
+			}
 			fl.WeightedAverageInto(models[id], vecs, ws)
 
 			// Split criterion on this cluster's updates.
@@ -101,7 +127,7 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 					maxNorm = v
 				}
 			}
-			if round == 0 && maxNorm > refNorm {
+			if round == refRound && maxNorm > refNorm {
 				refNorm = maxNorm
 			}
 			if round < c.WarmupRounds || len(members) < 2*c.MinClusterSize || refNorm == 0 || maxNorm == 0 {

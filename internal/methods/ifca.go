@@ -63,7 +63,7 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 		}
 		choice[ctx.Client] = best
 		nn.LoadParams(ctx.Model, models[best])
-		ctx.Scratch.LocalUpdate(ctx.Model, c.Train, env.Local, ctx.VisitRng())
+		ctx.Scratch.LocalUpdate(ctx.Model, c.Train, ctx.LocalConfig(), ctx.VisitRng())
 		nn.FlattenParamsInto(ctx.Model, ctx.Out)
 	}
 	d.Hooks.Aggregate = func(round int, reported []int) {

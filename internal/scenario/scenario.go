@@ -1,0 +1,192 @@
+// Package scenario is a deterministic system-heterogeneity model for the
+// federated simulator: per-client compute-speed profiles and availability
+// traces drawn from configurable distributions, layered over participation
+// sampling through fl.Participation.Scenario.
+//
+// The model gives every round a virtual deadline. A client that cannot
+// finish its full local pass by the deadline becomes a straggler (it
+// reports partial work — fewer completed epochs) or a dropout (nothing
+// usable arrives on time); a client whose availability draw fails is
+// offline for the round and never reports. Semi-async aggregators
+// (methods.FedBuff) additionally read how many rounds late a slow
+// client's full update would arrive.
+//
+// Determinism contract: every draw derives from the model seed via
+// rng.Derive — profiles from (profileLabel, client), per-round traces
+// from (traceLabel, client, round) — so Outcome is a pure function of
+// (client, round) that allocates nothing. Two models built from the same
+// (Config, seed, n) produce identical traces forever, regardless of call
+// order, worker count, or what else ran in the process.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/rng"
+)
+
+// Derivation labels for the model's independent streams.
+const (
+	profileLabel = 0x5ce7a0f11e // per-client speed profiles
+	traceLabel   = 0x5ce7a77ace // per-(client, round) availability/jitter
+)
+
+// Config parameterizes the heterogeneity distributions. The zero value
+// (with defaults applied) is a benign scenario: every client is nominal
+// speed, always available, and finishes exactly on time — a no-op layer.
+type Config struct {
+	// StragglerFrac is the fraction of clients given a slow compute
+	// profile (drawn per client, not per round — slow devices stay slow).
+	StragglerFrac float64
+	// SlowdownMax bounds how much slower a straggler is than a nominal
+	// client: straggler speeds are drawn uniformly from
+	// [1/SlowdownMax, 1). Default 4.
+	SlowdownMax float64
+	// DropoutRate is the per-round probability that a client is offline
+	// (crashed, out of battery, off-network) and does no work at all.
+	DropoutRate float64
+	// Deadline is the round's virtual time budget, in units of the time
+	// a nominal (speed-1, jitter-free) client needs for its full local
+	// pass. Default 1: nominal clients finish exactly on time; 2 gives
+	// 2×-slow stragglers room to finish.
+	Deadline float64
+	// Jitter is the σ of per-(client, round) lognormal compute noise
+	// multiplying each client's pass time (0 = none). Small values
+	// (0.1–0.3) make straggling intermittent instead of structural.
+	Jitter float64
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.SlowdownMax == 0 {
+		c.SlowdownMax = 4
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 1
+	}
+	return c
+}
+
+// Validate panics on out-of-range settings.
+func (c Config) Validate() {
+	if c.StragglerFrac < 0 || c.StragglerFrac > 1 {
+		panic(fmt.Sprintf("scenario: straggler fraction %v out of [0,1]", c.StragglerFrac))
+	}
+	if c.DropoutRate < 0 || c.DropoutRate >= 1 {
+		panic(fmt.Sprintf("scenario: dropout rate %v out of [0,1)", c.DropoutRate))
+	}
+	if c.SlowdownMax < 1 {
+		panic(fmt.Sprintf("scenario: slowdown max %v below 1", c.SlowdownMax))
+	}
+	if c.Deadline <= 0 {
+		panic(fmt.Sprintf("scenario: non-positive deadline %v", c.Deadline))
+	}
+	if c.Jitter < 0 {
+		panic(fmt.Sprintf("scenario: negative jitter %v", c.Jitter))
+	}
+}
+
+// Profile is one client's fixed compute character.
+type Profile struct {
+	// Speed is the client's relative compute speed: a nominal client is
+	// 1; a straggler in (0, 1) needs 1/Speed times as long per epoch.
+	Speed float64
+	// Straggler marks clients drawn into the slow cohort.
+	Straggler bool
+}
+
+// Model is an immutable, seeded heterogeneity model for a fixed client
+// population. It implements fl.RoundScenario. Safe for concurrent use:
+// all methods are read-only after New.
+type Model struct {
+	cfg      Config
+	seed     uint64
+	profiles []Profile
+}
+
+// New draws the per-client profiles for a population of n clients. The
+// same (cfg, seed, n) always yields the same model.
+func New(cfg Config, seed uint64, n int) *Model {
+	cfg = cfg.withDefaults()
+	cfg.Validate()
+	if n < 1 {
+		panic(fmt.Sprintf("scenario: non-positive population %d", n))
+	}
+	m := &Model{cfg: cfg, seed: seed, profiles: make([]Profile, n)}
+	var root, r rng.Rng
+	root.Reseed(seed)
+	for i := range m.profiles {
+		root.DeriveInto(&r, profileLabel, uint64(i))
+		p := Profile{Speed: 1}
+		if r.Float64() < cfg.StragglerFrac {
+			p.Straggler = true
+			// Uniform over [1/SlowdownMax, 1): a straggler is between
+			// barely and SlowdownMax-times slower than nominal.
+			lo := 1 / cfg.SlowdownMax
+			p.Speed = lo + r.Float64()*(1-lo)
+		}
+		m.profiles[i] = p
+	}
+	return m
+}
+
+// Config returns the model's effective (defaults-applied) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Profiles returns the per-client compute profiles (read-only).
+func (m *Model) Profiles() []Profile { return m.profiles }
+
+// Stragglers counts the clients drawn into the slow cohort.
+func (m *Model) Stragglers() int {
+	k := 0
+	for _, p := range m.profiles {
+		if p.Straggler {
+			k++
+		}
+	}
+	return k
+}
+
+// Outcome implements fl.RoundScenario: how many of the configured local
+// epochs client c finishes before the round's virtual deadline, and how
+// many rounds late its full-epoch update would arrive (lag < 0: offline).
+// Pure and allocation-free — see the package comment for the contract.
+func (m *Model) Outcome(client, round, epochs int) (done, lag int) {
+	if client < 0 || client >= len(m.profiles) {
+		panic(fmt.Sprintf("scenario: client %d outside population of %d", client, len(m.profiles)))
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	var root, r rng.Rng
+	root.Reseed(m.seed)
+	root.DeriveInto(&r, traceLabel, uint64(client), uint64(round))
+	// The availability variate is always consumed, so sweeping
+	// DropoutRate (0 included) never shifts the jitter draws that follow
+	// — only the dropout decision itself varies across rates.
+	if avail := r.Float64(); m.cfg.DropoutRate > 0 && avail < m.cfg.DropoutRate {
+		return 0, -1
+	}
+	// pass is the client's time for its full local pass, in units of a
+	// nominal client's pass. Nominal, jitter-free clients get exactly 1.
+	pass := 1 / m.profiles[client].Speed
+	if m.cfg.Jitter > 0 {
+		pass *= math.Exp(m.cfg.Jitter * r.NormFloat64())
+	}
+	d := m.cfg.Deadline
+	if pass <= d {
+		return epochs, 0 // finishes everything on time
+	}
+	done = int(float64(epochs) * d / pass) // epochs completed at the deadline
+	if done >= epochs {
+		// Guard against float rounding pushing a just-late client to a
+		// full count: done == epochs is reserved for lag == 0.
+		done = epochs - 1
+	}
+	lag = int(math.Ceil(pass/d)) - 1
+	if lag < 1 {
+		lag = 1 // pass > d: the full update is at least one round late
+	}
+	return done, lag
+}

@@ -1,0 +1,60 @@
+package wire
+
+// Fuzz coverage for the frame decoder: a server must survive arbitrary
+// client uploads, so Decode must never panic — it returns an error for
+// every malformed frame. The seed corpus (testdata/fuzz/FuzzDecode)
+// checks in the interesting shapes: valid frames under every codec,
+// truncations at each boundary, and corrupt length prefixes (zero,
+// oversized, and overflow-adjacent counts) so even the plain `go test`
+// run exercises them.
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode asserts Decode is total: any byte string either decodes to
+// exactly the count its header promises or fails with an error. A valid
+// Float64 frame must also re-encode to identical bytes (its decoded
+// values round-trip bit-exactly; the narrowing codecs are excluded — a
+// checksum-valid crafted frame can hold float32 NaN payloads that the
+// f32→f64→f32 trip quiets, or a Quant8 (min, scale) header that differs
+// from the decoded values' own range).
+func FuzzDecode(f *testing.F) {
+	for _, c := range []Codec{Float64, Float32, Quant8} {
+		f.Add(Encode(c, nil))
+		f.Add(Encode(c, []float64{1.5, -2.25, 3e8, 0}))
+	}
+	valid := Encode(Float64, []float64{7, -7})
+	f.Add(valid[:0])            // empty input
+	f.Add(valid[:headerLen-1])  // truncated inside the fixed header
+	f.Add(valid[:headerLen+3])  // truncated inside the payload
+	f.Add(valid[:len(valid)-1]) // truncated checksum
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oversized[4:8], 1<<31-1) // count ≫ payload
+	f.Add(oversized)
+	undersized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(undersized[4:8], 0) // count < payload
+	f.Add(undersized)
+	badCodec := append([]byte(nil), valid...)
+	badCodec[2] = 0x7f
+	f.Add(badCodec)
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 0
+	f.Add(badMagic)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		vec, err := Decode(frame) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		if want := int(binary.LittleEndian.Uint32(frame[4:8])); len(vec) != want {
+			t.Fatalf("decoded %d values, header promised %d", len(vec), want)
+		}
+		if c := Codec(frame[2]); c == Float64 {
+			if got := Encode(c, vec); string(got) != string(frame) {
+				t.Fatalf("re-encode of a valid frame diverged:\n got %x\nwant %x", got, frame)
+			}
+		}
+	})
+}
