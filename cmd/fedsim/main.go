@@ -16,6 +16,8 @@
 //	ablation-layer   A1 — cluster recovery per weight layer
 //	ablation-linkage A2 — FedClust under each HC linkage
 //	stragglers       H1 — system heterogeneity: stragglers, dropouts, staleness
+//	serve            networked federation: run rounds as the coordinator
+//	join             networked federation: serve local training as a node
 //
 // Common flags:
 //
@@ -63,6 +65,11 @@ func main() {
 	deadline := fs.Float64("deadline", 1, "virtual round deadline in nominal local-pass units (stragglers)")
 	stragglerFrac := fs.Float64("straggler-frac", 0.3, "fraction of clients in the slow cohort (stragglers)")
 	dropouts := fs.String("dropouts", "0,0.1,0.3,0.5", "comma-separated per-round dropout rates (stragglers)")
+	addr := fs.String("addr", ":7171", "coordinator address (serve: listen; join: dial)")
+	nodesN := fs.Int("nodes", 1, "node processes to wait for before training (serve)")
+	codec := fs.String("codec", "float64", "wire codec for parameter frames: float64, float32, quant8 (serve)")
+	timeoutSec := fs.Float64("timeout", 60, "per-request transport deadline in seconds, 0 = none (serve)")
+	nodeName := fs.String("name", "", "node name announced to the coordinator (join; default host-pid)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -95,17 +102,18 @@ func main() {
 		runSelectorAblation(*quick, *seed)
 	case "ablation-compression":
 		runCompressionAblation(*quick, *seed)
+	case "serve":
+		// A bare `fedsim serve` runs FedAvg + FedClust; an explicit
+		// -methods narrows or widens the distributed set.
+		runServe(*quick, *seed, *rounds, *addr, *nodesN, *codec, *timeoutSec,
+			explicitMethods(fs, *methodsFlag))
+	case "join":
+		runJoin(*addr, *nodeName)
 	case "stragglers":
 		// The stragglers default method set adds the staleness-aware
 		// aggregators; an explicit -methods overrides it.
-		var methodList []string
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "methods" {
-				methodList = splitList(*methodsFlag)
-			}
-		})
 		runStragglers(*quick, *seed, *scenarioOn, *deadline, *stragglerFrac,
-			parseFloats(*dropouts), methodList, *csvPath)
+			parseFloats(*dropouts), explicitMethods(fs, *methodsFlag), *csvPath)
 	default:
 		fmt.Fprintf(os.Stderr, "fedsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -131,9 +139,25 @@ experiments:
   ablation-selector A3: automatic cluster-count rules
   ablation-compression A4: lossy upload codecs
   stragglers       H1: system heterogeneity (stragglers, dropouts, staleness)
+  serve            run federated rounds as a network coordinator
+  join             serve local training as a node of a coordinator
 
 flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N
-scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c`)
+scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c
+transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id`)
+}
+
+// explicitMethods returns the parsed -methods list only when the flag
+// was set on the command line, so subcommands with their own default
+// method sets can tell "defaulted" from "explicitly chosen".
+func explicitMethods(fs *flag.FlagSet, methodsFlag string) []string {
+	var out []string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "methods" {
+			out = splitList(methodsFlag)
+		}
+	})
+	return out
 }
 
 func parseFloats(s string) []float64 {

@@ -1,0 +1,180 @@
+package main
+
+// fedsim serve / fedsim join — the networked federation entry points.
+//
+// The coordinator (`serve`) owns the round schedule: it listens, waits
+// for N nodes, ships each the environment spec plus a contiguous client
+// range, and then runs the selected methods with every assigned client's
+// local pass executing on its node. Nodes (`join`) dial in, rebuild the
+// identical environment replica from the spec, and serve train requests
+// until the coordinator says goodbye. Communication stats on the
+// coordinator are measured off the sockets, not estimated.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fedclust/internal/core"
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/transport"
+	"fedclust/internal/wire"
+)
+
+// distSpec is the distributed walkthrough workload: label-grouped
+// synthetic clients on an MLP — small enough that a laptop coordinator
+// plus a few localhost nodes finish in seconds, structured enough (two
+// or four label groups) that FedClust's clustering has something to
+// find.
+func distSpec(quick bool, seed uint64, rounds int) *transport.Spec {
+	s := &transport.Spec{
+		Dataset: data.SynthConfig{
+			Name: "dist8", C: 1, H: 16, W: 16, Classes: 8,
+			TrainPerClass: 100, TestPerClass: 30,
+			ClassSep: 0.85, Noise: 1.0, SharedBG: 0.3, Smooth: 1, Seed: seed,
+		},
+		Groups:    [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+		PerGroup:  []int{5, 5, 5, 5},
+		Hidden:    []int{64},
+		Seed:      seed,
+		Rounds:    20,
+		EvalEvery: 5,
+		Local:     fl.LocalConfig{Epochs: 2, BatchSize: 32, LR: 0.1, Momentum: 0.9},
+	}
+	if quick {
+		s.Dataset.H, s.Dataset.W, s.Dataset.Classes = 8, 8, 4
+		s.Dataset.TrainPerClass, s.Dataset.TestPerClass = 40, 16
+		s.Groups = [][]int{{0, 1}, {2, 3}}
+		s.PerGroup = []int{3, 3}
+		s.Hidden = []int{20}
+		s.Rounds = 6
+		s.EvalEvery = 2
+		s.Local.BatchSize = 16
+	}
+	if rounds > 0 {
+		s.Rounds = rounds
+	}
+	return s
+}
+
+// parseCodec maps the -codec flag to a wire codec.
+func parseCodec(s string) (wire.Codec, error) {
+	switch strings.ToLower(s) {
+	case "", "float64":
+		return wire.Float64, nil
+	case "float32":
+		return wire.Float32, nil
+	case "quant8":
+		return wire.Quant8, nil
+	default:
+		return 0, fmt.Errorf("unknown codec %q (float64, float32, quant8)", s)
+	}
+}
+
+// distTrainer maps a method name to a trainer whose local passes route
+// through the transport (methods driving engine.DefaultLocal).
+func distTrainer(name string) (fl.Trainer, error) {
+	switch strings.ToLower(name) {
+	case "fedavg":
+		return methods.FedAvg{}, nil
+	case "fedprox":
+		return methods.FedProx{Mu: 0.1}, nil
+	case "cfl":
+		return methods.CFL{}, nil
+	case "fedclust":
+		return &core.FedClust{}, nil
+	default:
+		return nil, fmt.Errorf("method %q is not transport-routable (use fedavg, fedprox, cfl, fedclust)", name)
+	}
+}
+
+// runServe is the coordinator: wait for nodes, run the methods, report.
+func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
+	codecStr string, timeoutSec float64, methodList []string) {
+	codec, err := parseCodec(codecStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if nNodes < 1 {
+		fatalf("need at least one node (-nodes)")
+	}
+	if len(methodList) == 0 {
+		methodList = []string{"fedavg", "fedclust"}
+	}
+	trainers := make([]fl.Trainer, len(methodList))
+	for i, m := range methodList {
+		if trainers[i], err = distTrainer(m); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	spec := distSpec(quick, seed, rounds)
+	env, err := spec.Build()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	specBytes, err := spec.Marshal()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	coord, err := transport.Listen(addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s — waiting for %d node(s):\n", coord.Addr(), nNodes)
+	fmt.Printf("  fedsim join -addr %s\n", coord.Addr())
+	timeout := time.Duration(timeoutSec * float64(time.Second))
+	nodes, err := coord.AcceptNodes(nNodes, len(env.Clients), specBytes, codec, timeout)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, nd := range nodes {
+		fmt.Printf("  node %q joined: clients [%d,%d)\n", nd.Name(), nd.Lo, nd.Hi)
+	}
+	fleet := transport.FleetOf(len(env.Clients), nodes)
+	defer fleet.Close()
+	env.Remote = fleet
+
+	fmt.Printf("\n%d clients × %d rounds, codec %s, deadline %v\n\n",
+		len(env.Clients), env.Rounds, codec, timeout)
+	for _, tr := range trainers {
+		start := time.Now()
+		res := tr.Run(env)
+		fmt.Printf("%-10s acc %.2f%%  wire: %s  (%v)\n",
+			res.Method, 100*res.FinalAcc, res.Comm.String(), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runJoin is a node: dial, replicate the environment, serve until Bye.
+func runJoin(addr, name string) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	conn, lo, hi, specBytes, err := transport.Join(addr, name)
+	if err != nil {
+		fatalf("join %s: %v", addr, err)
+	}
+	spec, err := transport.ParseSpec(specBytes)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	env, err := spec.Build()
+	if err != nil {
+		fatalf("building environment replica: %v", err)
+	}
+	fmt.Printf("joined %s as %q: %d clients replicated, serving [%d,%d)\n",
+		addr, name, len(env.Clients), lo, hi)
+	if err := transport.NewService(env).ServeConn(conn); err != nil {
+		fatalf("serving: %v", err)
+	}
+	fmt.Println("coordinator said goodbye; exiting")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fedsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -158,9 +158,27 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 
 	// --- Steps ①–②: broadcast w₀; local warmup; upload partial weights.
 	init := d.InitParams()
-	features, initLayer := collectPartialWeights(env, cfg, init, d.Pool().Get)
-	res.Comm.Download(n, d.NumParams)    // step ① broadcast
-	res.Comm.Upload(n, len(features[0])) // step ② partial upload only
+	features, initLayer, downB, upB := collectPartialWeights(env, cfg, init, d.Pool().Get)
+	if downB == nil {
+		res.Comm.Download(n, d.NumParams)    // step ① broadcast
+		res.Comm.Upload(n, len(features[0])) // step ② partial upload only
+	} else {
+		// Remote warmup traffic is measured off the transport; the scalar
+		// estimate covers only the clients that trained in-process.
+		nLocal := 0
+		var down, up int64
+		for i := 0; i < n; i++ {
+			if !env.Remote.Owns(i) {
+				nLocal++
+			}
+			down += downB[i]
+			up += upB[i]
+		}
+		res.Comm.Download(nLocal, d.NumParams)
+		res.Comm.Upload(nLocal, len(features[0]))
+		res.Comm.DownloadBytes(down)
+		res.Comm.UploadBytes(up)
+	}
 
 	// --- Steps ③–④: proximity matrix + hierarchical clustering.
 	prox := linalg.PairwiseDistances(cfg.Metric, features)
@@ -222,7 +240,14 @@ func InitLayerVector(env *fl.Env, cfg Config) []float64 {
 // the selected layer's update from initLayer, unit-normalized (see
 // Config.RawFeatures for the raw-weights variant).
 func FeatureOf(model *nn.Sequential, initLayer []float64, cfg Config) []float64 {
-	vec := layerVector(model, cfg)
+	return FeatureFromVector(layerVector(model, cfg), initLayer, cfg)
+}
+
+// FeatureFromVector is FeatureOf on an already-extracted layer vector —
+// what a remote client puts on the wire (it uploads only the partial
+// weights, never the whole model). With RawFeatures the result aliases
+// vec.
+func FeatureFromVector(vec, initLayer []float64, cfg Config) []float64 {
 	if cfg.RawFeatures {
 		return vec
 	}
@@ -245,13 +270,19 @@ func FeatureOf(model *nn.Sequential, initLayer []float64, cfg Config) []float64 
 	return delta
 }
 
+// WarmupRound is the out-of-band round id keying the deterministic RNG
+// stream of the one-shot warmup pass (far above any real round number,
+// so warmup draws never collide with training rounds). Remote executors
+// receive it as the request's round and derive the identical stream.
+const WarmupRound = 1 << 20
+
 // CollectPartialWeights performs the warmup phase: every client trains
 // locally from the given initial weights for cfg.WarmupEpochs and the
 // selected layer's update is extracted as that client's clustering
 // feature. Runs clients in parallel over per-worker reused models.
 func CollectPartialWeights(env *fl.Env, cfg Config, init []float64) [][]float64 {
 	pool := engine.NewModelPool(env)
-	features, _ := collectPartialWeights(env, cfg, init, pool.Get)
+	features, _, _, _ := collectPartialWeights(env, cfg, init, pool.Get)
 	return features
 }
 
@@ -259,8 +290,16 @@ func CollectPartialWeights(env *fl.Env, cfg Config, init []float64) [][]float64 
 // per-worker model source (FedClust.Run passes its round engine's pool so
 // no extra networks are built). It also returns the selected layer's
 // parameters under init — the reference every feature is extracted
-// against.
-func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(worker int) *nn.Sequential) (features [][]float64, initLayer []float64) {
+// against — and, when the environment routes clients through a
+// RemoteTrainer, the per-client measured wire bytes of the warmup
+// exchange (nil slices otherwise). Remote clients upload only the
+// selected layer, preserving the paper's partial-upload property on the
+// wire. A remote warmup request is retried a few times (a deployment
+// would simply re-ask for the tiny once-ever upload); a client whose
+// every attempt fails is fatal — the one-shot clustering phase cannot
+// proceed with missing features — and panics from the submitting
+// goroutine once the parallel phase has drained.
+func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(worker int) *nn.Sequential) (features [][]float64, initLayer []float64, downBytes, upBytes []int64) {
 	n := len(env.Clients)
 	features = make([][]float64, n)
 	local := env.Local
@@ -270,14 +309,52 @@ func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(w
 	ref := model(0)
 	nn.LoadParams(ref, init)
 	initLayer = layerVector(ref, cfg)
+	var errs []error
+	if env.Remote != nil {
+		downBytes = make([]int64, n)
+		upBytes = make([]int64, n)
+		errs = make([]error, n)
+	}
+	layerSel := fl.FinalLayer
+	if cfg.ExplicitLayer {
+		layerSel = cfg.WeightLayer
+	}
 	scratches := make([]fl.TrainScratch, env.WorkerCount())
 	env.ParallelClientsWorker(n, func(w, i int) {
+		if rt := env.Remote; rt != nil && rt.Owns(i) {
+			vec := make([]float64, len(initLayer))
+			req := fl.RemoteRequest{
+				Client: i, Round: WarmupRound, Cluster: -1,
+				Layer: layerSel, Cfg: local, Start: init,
+			}
+			const attempts = 3 // ride out a transiently slow node
+			var err error
+			for a := 0; a < attempts; a++ {
+				var down, up int64
+				down, up, err = rt.Train(&req, vec)
+				downBytes[i] += down
+				upBytes[i] += up
+				if err == nil {
+					break
+				}
+			}
+			errs[i] = err
+			if err == nil {
+				features[i] = FeatureFromVector(vec, initLayer, cfg)
+			}
+			return
+		}
 		m := model(w)
 		nn.LoadParams(m, init)
-		scratches[w].LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, 1<<20))
+		scratches[w].LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, WarmupRound))
 		features[i] = FeatureOf(m, initLayer, cfg)
 	})
-	return features, initLayer
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("core: remote warmup upload for client %d failed: %v", i, err))
+		}
+	}
+	return features, initLayer, downBytes, upBytes
 }
 
 // centroids computes per-cluster mean feature vectors.

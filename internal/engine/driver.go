@@ -55,6 +55,20 @@ type ClientCtx struct {
 	// steady-state local training allocates nothing. Custom Local hooks
 	// should train through it.
 	Scratch *fl.TrainScratch
+	// Cluster is the client's cluster id under a clustered schedule
+	// (Hooks.ClusterOf), -1 otherwise — forwarded to remote executors as
+	// round metadata.
+	Cluster int
+	// WireDown and WireUp accumulate the visit's measured transport
+	// traffic (bytes to and from the client's remote executor). Zero for
+	// in-process visits.
+	WireDown, WireUp int64
+	// Failed marks the visit as lost — a remote update that never
+	// arrived (timeout, disconnect). The engine removes failed clients
+	// from the round's reported set after the parallel phase, so their
+	// stale Out slots are never aggregated. Custom Local hooks may set
+	// it for the same effect.
+	Failed bool
 
 	// rng backs VisitRng; persistent so visits draw streams without
 	// allocating.
@@ -111,6 +125,10 @@ type Hooks struct {
 	// way; IFCA downloads K models per client).
 	DownlinkPerClient func(round int) int
 	UplinkPerClient   func(round int) int
+	// ClusterOf, when set, labels each client visit with its cluster id
+	// (RunClusteredFedAvg wires it) — metadata forwarded to remote
+	// executors. Must be pure and safe for concurrent calls.
+	ClusterOf func(client int) int
 }
 
 // RoundDriver runs the shared sample → broadcast → local-train →
@@ -227,8 +245,28 @@ func (d *RoundDriver) Pool() *ModelPool { return d.es.pool }
 
 // DefaultLocal is the plain client objective: load the broadcast weights,
 // run local SGD through the worker's scratch, flatten the trained
-// parameters into the client's slot.
+// parameters into the client's slot. Clients owned by the environment's
+// RemoteTrainer are shipped over the transport instead: same start, same
+// deterministic (client, round) stream, same config — a lossless-codec
+// remote visit is bit-identical to an in-process one.
 func DefaultLocal(ctx *ClientCtx) {
+	if rt := ctx.Env.Remote; rt != nil && rt.Owns(ctx.Client) {
+		req := fl.RemoteRequest{
+			Client:  ctx.Client,
+			Round:   ctx.Round,
+			Cluster: ctx.Cluster,
+			Layer:   fl.FullParams,
+			Cfg:     ctx.LocalConfig(),
+			Start:   ctx.Start,
+		}
+		down, up, err := rt.Train(&req, ctx.Out)
+		ctx.WireDown += down
+		ctx.WireUp += up
+		if err != nil {
+			ctx.Failed = true
+		}
+		return
+	}
 	if ctx.Scratch == nil {
 		ctx.Scratch = &fl.TrainScratch{}
 	}
@@ -262,7 +300,7 @@ func (d *RoundDriver) GatherCluster(assign []int, id int) (vecs [][]float64, ws 
 		if a != id {
 			continue
 		}
-		if d.es.scenOn && !d.es.repMask[i] {
+		if d.es.maskOn && !d.es.repMask[i] {
 			continue
 		}
 		vecs = append(vecs, d.Locals[i])
@@ -290,8 +328,15 @@ func (d *RoundDriver) ScenarioActive() bool { return d.es.scenOn }
 // ScenarioOutcome returns client i's scenario outcome for the current
 // round — completed epochs by the deadline and delivery lag in rounds
 // (0 on time, negative offline). Valid during the round's hooks; without
-// an active scenario it reports a nominal on-time client.
+// an active scenario it reports a nominal on-time client. A visit whose
+// update was lost in flight (ClientCtx.Failed — transport timeout or
+// disconnect) reports as offline: nothing arrived and nothing will, so
+// semi-async aggregators must not schedule its stale Locals slot as a
+// late arrival.
 func (d *RoundDriver) ScenarioOutcome(i int) (done, lag int) {
+	if d.es.failMask[i] {
+		return 0, -1
+	}
 	if !d.es.scenOn {
 		return d.Env.Local.Epochs, 0
 	}
@@ -299,9 +344,10 @@ func (d *RoundDriver) ScenarioOutcome(i int) (done, lag int) {
 }
 
 // Reported reports whether client i is in the current round's reported
-// set (valid during the round's hooks).
+// set (valid during the round's hooks). Scenario losses and transport
+// failures both clear membership.
 func (d *RoundDriver) Reported(i int) bool {
-	if !d.es.scenOn {
+	if !d.es.maskOn {
 		return true
 	}
 	return d.es.repMask[i]
@@ -338,7 +384,22 @@ func (d *RoundDriver) RunRound(round int) {
 	env := d.Env
 	es := d.es
 	invited, reported := d.sample(round)
-	d.Res.Comm.Download(len(invited), d.downlink(round))
+	// Reset the per-round failure state — visits the scenario skips must
+	// not leave stale failures behind.
+	for i := range es.failMask {
+		es.failMask[i] = false
+	}
+	if es.remoteOn {
+		// Remote rounds account traffic after the parallel phase
+		// (foldRemote): whether a client's volume is measured off the
+		// transport or estimated depends on what its hook actually did.
+		for i := range es.wireDown {
+			es.wireDown[i], es.wireUp[i] = 0, 0
+			es.visited[i] = false
+		}
+	} else {
+		d.Res.Comm.Download(len(invited), d.downlink(round))
+	}
 	var starts [][]float64
 	if d.Hooks.Broadcast != nil {
 		starts = d.Hooks.Broadcast(round)
@@ -346,7 +407,12 @@ func (d *RoundDriver) RunRound(round int) {
 	es.curInvited, es.curStarts, es.curRound = invited, starts, round
 	env.ParallelClientsWorker(len(invited), es.clientTask)
 	es.curStarts = nil
-	d.Res.Comm.Upload(len(reported), d.uplink(round))
+	if es.remoteOn {
+		reported = d.foldRemote(round, invited, reported)
+	} else {
+		reported = d.dropFailed(reported)
+		d.Res.Comm.Upload(len(reported), d.uplink(round))
+	}
 	// A scenario round where every device missed the deadline is wasted:
 	// there is nothing for a synchronous method to fold. Methods whose
 	// server state progresses anyway (late arrivals due, cached updates
@@ -379,6 +445,7 @@ func (d *RoundDriver) RunRound(round int) {
 func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64) *fl.Result {
 	d.FullParticipation = true
 	starts := d.StartsBuf()
+	d.Hooks.ClusterOf = func(i int) int { return labels[i] }
 	d.Hooks.Broadcast = func(round int) [][]float64 {
 		for i, l := range labels {
 			starts[i] = models[l]
@@ -397,6 +464,86 @@ func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64
 	return d.Run()
 }
 
+// estimated reports whether client i's traffic this round falls back to
+// the scalar-count estimate: it trained in-process — either unowned by
+// the transport, or owned but driven by a custom Local hook that ran
+// locally (no wire traffic recorded, no failure), like IFCA's. Measured
+// bytes take over only for visits that actually crossed the transport.
+func (d *RoundDriver) estimated(i int) bool {
+	es := d.es
+	if !es.remoteMask[i] {
+		return true
+	}
+	return es.visited[i] && es.wireDown[i] == 0 && es.wireUp[i] == 0 && !es.failMask[i]
+}
+
+// foldRemote settles a remote round's communication accounting after
+// the parallel phase — measured wire bytes for visits that crossed the
+// transport, the scalar estimate for everyone who trained in-process —
+// and drops failed visits from the reported set.
+func (d *RoundDriver) foldRemote(round int, invited, reported []int) []int {
+	es := d.es
+	var down, up int64
+	estDown := 0
+	for _, i := range invited {
+		down += es.wireDown[i]
+		up += es.wireUp[i]
+		if d.estimated(i) {
+			estDown++
+		}
+	}
+	d.Res.Comm.Download(estDown, d.downlink(round))
+	d.Res.Comm.DownloadBytes(down)
+	d.Res.Comm.UploadBytes(up)
+	reported = d.dropFailed(reported)
+	estUp := 0
+	for _, i := range reported {
+		if d.estimated(i) {
+			estUp++
+		}
+	}
+	d.Res.Comm.Upload(estUp, d.uplink(round))
+	return reported
+}
+
+// dropFailed removes visits marked failed (a remote update that never
+// arrived, or a custom Local hook disowning its result) from the
+// reported set — exactly like scenario dropouts — and rebuilds the
+// reported mask so cluster gathers see the surviving membership. A
+// round with no failures returns the set untouched, leaving the mask
+// exactly as sample built it.
+func (d *RoundDriver) dropFailed(reported []int) []int {
+	es := d.es
+	anyFailed := false
+	for _, i := range reported {
+		if es.failMask[i] {
+			anyFailed = true
+			break
+		}
+	}
+	if !anyFailed {
+		return reported
+	}
+	// In-place filter into the reported buffer. reported either is that
+	// buffer already (write index trails read index) or aliases the
+	// immutable all-clients list (es.all must never be truncated).
+	kept := es.reported[:0]
+	for _, i := range reported {
+		if !es.failMask[i] {
+			kept = append(kept, i)
+		}
+	}
+	es.reported = kept
+	for i := range es.repMask {
+		es.repMask[i] = false
+	}
+	for _, c := range kept {
+		es.repMask[c] = true
+	}
+	es.maskOn = true
+	return kept
+}
+
 // sample draws the round's invited and reporting sets into reused
 // buffers, then fills the round's scenario state (outcomes per invited
 // client, the reported mask) when a scenario is in force.
@@ -404,6 +551,7 @@ func (d *RoundDriver) sample(round int) (invited, reported []int) {
 	es := d.es
 	sc := d.Env.Participation.Scenario
 	es.scenOn = sc != nil
+	es.maskOn = es.scenOn // foldRemote may extend mask coverage later
 	if sc == nil {
 		if d.FullParticipation {
 			return es.all, es.all

@@ -107,3 +107,61 @@ func TestCommOverrides(t *testing.T) {
 		t.Fatalf("up bytes %d, want %d", res.Comm.UpBytes, want)
 	}
 }
+
+// TestFailedVisitsDropFromReported: a Local hook that disowns its result
+// (ClientCtx.Failed — a transport timeout, or any custom hook's own
+// failure) must see those clients removed from the reported set before
+// Aggregate, on a plain run with no transport and no scenario attached.
+func TestFailedVisitsDropFromReported(t *testing.T) {
+	env := goldenEnv(5, 2, fl.Participation{})
+	d := engine.New(env, "test")
+	d.FullParticipation = true
+	global := d.InitParams()
+	d.Hooks.Broadcast = func(int) [][]float64 {
+		starts := d.StartsBuf()
+		for i := range starts {
+			starts[i] = global
+		}
+		return starts
+	}
+	d.Hooks.Local = func(ctx *engine.ClientCtx) {
+		engine.DefaultLocal(ctx)
+		if ctx.Client%2 == 1 {
+			ctx.Failed = true // odd clients disown every visit
+		}
+	}
+	var got [][]int
+	d.Hooks.Aggregate = func(round int, reported []int) {
+		got = append(got, append([]int(nil), reported...))
+		for i := range env.Clients {
+			if want := i%2 == 0; d.Reported(i) != want {
+				t.Errorf("round %d: Reported(%d) = %v, want %v", round, i, d.Reported(i), want)
+			}
+			// A failed visit must read as offline to semi-async
+			// aggregators — its stale Locals slot is not a late arrival.
+			done, lag := d.ScenarioOutcome(i)
+			if i%2 == 1 {
+				if done != 0 || lag >= 0 {
+					t.Errorf("round %d: failed client %d outcome (%d,%d), want offline", round, i, done, lag)
+				}
+			} else if lag != 0 {
+				t.Errorf("round %d: healthy client %d reported late (lag %d)", round, i, lag)
+			}
+		}
+	}
+	d.Hooks.Served = func(int) []float64 { return global }
+	d.Run()
+	if len(got) != env.Rounds {
+		t.Fatalf("aggregate ran %d times, want %d", len(got), env.Rounds)
+	}
+	for r, rep := range got {
+		for _, i := range rep {
+			if i%2 == 1 {
+				t.Errorf("round %d: failed client %d stayed in reported set %v", r, i, rep)
+			}
+		}
+		if len(rep) != (len(env.Clients)+1)/2 {
+			t.Errorf("round %d: reported %v, want the %d surviving clients", r, rep, (len(env.Clients)+1)/2)
+		}
+	}
+}

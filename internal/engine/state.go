@@ -56,6 +56,22 @@ type envState struct {
 	done      []int  // epochs finished by the deadline (invited clients)
 	lag       []int  // rounds late (0 on time, <0 offline)
 	repMask   []bool // reported-set membership, for cluster gathers
+	// maskOn gates repMask consultation: set by a scenario round (sample
+	// fills the mask) or by a remote round after transport failures are
+	// folded in. A plain round never reads the mask.
+	maskOn bool
+
+	// Remote-execution state (client-indexed), live when the environment
+	// carries a RemoteTrainer. remoteMask caches Owns per client;
+	// wireDown/wireUp collect each visit's measured transport bytes;
+	// failMask marks visits whose update never arrived. All gated by
+	// remoteOn so a transport-free round takes the pre-transport path.
+	remoteOn   bool
+	remoteMask []bool
+	wireDown   []int64
+	wireUp     []int64
+	failMask   []bool
+	visited    []bool // hook ran this round (remote rounds only)
 
 	// Method-level scratch handed out by RoundDriver.InitGlobal and
 	// StartsBuf (the global-model and clustered-FedAvg wiring).
@@ -105,6 +121,15 @@ func newEnvState(env *fl.Env) *envState {
 	es.done = make([]int, n)
 	es.lag = make([]int, n)
 	es.repMask = make([]bool, n)
+	es.remoteMask = make([]bool, n)
+	es.wireDown = make([]int64, n)
+	es.wireUp = make([]int64, n)
+	es.failMask = make([]bool, n)
+	es.visited = make([]bool, n)
+	// The failure-filter path rewrites the reported set in place; size
+	// both sampling buffers up front so it never grows them mid-round.
+	es.invited = make([]int, 0, n)
+	es.reported = make([]int, 0, n)
 
 	es.clientTask = func(w, j int) {
 		i := es.curInvited[j]
@@ -132,10 +157,22 @@ func newEnvState(env *fl.Env) *envState {
 			ctx.Start = es.curStarts[i]
 		}
 		ctx.Out = es.locals[i]
+		ctx.Cluster = -1
+		if es.d.Hooks.ClusterOf != nil {
+			ctx.Cluster = es.d.Hooks.ClusterOf(i)
+		}
+		ctx.WireDown, ctx.WireUp, ctx.Failed = 0, 0, false
 		if es.d.Hooks.Local != nil {
 			es.d.Hooks.Local(ctx)
 		} else {
 			DefaultLocal(ctx)
+		}
+		if es.remoteOn {
+			es.wireDown[i], es.wireUp[i] = ctx.WireDown, ctx.WireUp
+			es.visited[i] = true
+		}
+		if ctx.Failed {
+			es.failMask[i] = true
 		}
 	}
 	es.evalPick = func(w, i int) *nn.Sequential {
@@ -159,11 +196,18 @@ func (es *envState) fits(env *fl.Env) bool {
 // rebind points the cached state at this run's Env pointer and driver.
 // The Env may be a copy of the one the state was built for (FedProx);
 // the contexts must see the copy so hook-visible config (Local) is the
-// run's own.
+// run's own. Remote ownership is re-cached here: Owns must be stable for
+// the run, so one query per client up front keeps it off the hot path.
 func (es *envState) rebind(env *fl.Env, d *RoundDriver) {
 	es.env = env
 	es.d = d
 	for _, ctx := range es.ctxs {
 		ctx.Env = env
+	}
+	es.remoteOn = env.Remote != nil
+	if es.remoteOn {
+		for i := range es.remoteMask {
+			es.remoteMask[i] = env.Remote.Owns(i)
+		}
 	}
 }

@@ -54,12 +54,13 @@ func RunCompression(opts CompressionOptions) *CompressionResult {
 	features := core.CollectPartialWeights(env, cfg, init)
 
 	res := &CompressionResult{}
+	var frame []byte // reused encode buffer across clients and codecs
 	for _, c := range []wire.Codec{wire.Float64, wire.Float32, wire.Quant8} {
 		decoded := make([][]float64, len(features))
 		var total int64
 		var maxErr float64
 		for i, f := range features {
-			frame := wire.Encode(c, f)
+			frame = wire.EncodeInto(frame[:0], c, f)
 			total += int64(len(frame))
 			dec, err := wire.Decode(frame)
 			if err != nil {

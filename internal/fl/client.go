@@ -6,6 +6,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 
 	"fedclust/internal/data"
 	"fedclust/internal/nn"
@@ -37,15 +38,32 @@ type LocalConfig struct {
 
 // Validate panics on degenerate configuration.
 func (c LocalConfig) Validate() {
+	if err := c.Check(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Check is the error-returning form of Validate — the one place the
+// config rules live, shared by in-process training and the transport's
+// untrusted-wire-config guard (internal/transport), so the two paths
+// can never drift on what a valid config is.
+func (c LocalConfig) Check() error {
 	if c.Epochs < 1 || c.BatchSize < 1 {
-		panic(fmt.Sprintf("fl: invalid local config epochs=%d batch=%d", c.Epochs, c.BatchSize))
+		return fmt.Errorf("fl: invalid local config epochs=%d batch=%d", c.Epochs, c.BatchSize)
 	}
-	if c.LR <= 0 {
-		panic(fmt.Sprintf("fl: invalid learning rate %v", c.LR))
+	if !(c.LR > 0) || math.IsInf(c.LR, 0) {
+		return fmt.Errorf("fl: invalid learning rate %v", c.LR)
 	}
-	if c.ProxMu < 0 {
-		panic(fmt.Sprintf("fl: negative prox mu %v", c.ProxMu))
+	if math.IsNaN(c.Momentum) || math.IsInf(c.Momentum, 0) {
+		return fmt.Errorf("fl: invalid momentum %v", c.Momentum)
 	}
+	if math.IsNaN(c.WeightDecay) || math.IsInf(c.WeightDecay, 0) {
+		return fmt.Errorf("fl: invalid weight decay %v", c.WeightDecay)
+	}
+	if !(c.ProxMu >= 0) || math.IsInf(c.ProxMu, 0) {
+		return fmt.Errorf("fl: invalid prox mu %v", c.ProxMu)
+	}
+	return nil
 }
 
 // TrainScratch carries the allocation-heavy state of local training — the

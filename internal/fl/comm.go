@@ -37,6 +37,14 @@ func (c *CommStats) Download(nClients, nParams int) {
 	c.DownBytes += int64(nClients) * int64(nParams) * BytesPerParam
 }
 
+// UploadBytes records b measured client→server bytes — actual framed
+// traffic reported by an attached transport. The scalar-count estimates
+// above remain the accounting for purely in-process clients.
+func (c *CommStats) UploadBytes(b int64) { c.UpBytes += b }
+
+// DownloadBytes records b measured server→client bytes.
+func (c *CommStats) DownloadBytes(b int64) { c.DownBytes += b }
+
 // EndRound snapshots the traffic delta since the previous EndRound call.
 func (c *CommStats) EndRound(round int) {
 	c.PerRound = append(c.PerRound, RoundComm{

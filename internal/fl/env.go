@@ -38,6 +38,13 @@ type Env struct {
 	// (e.g. one the caller shuts down deterministically with
 	// sched.Pool.Shutdown). nil uses the process-wide sched.Default().
 	Exec *sched.Pool
+	// Remote, when non-nil, routes the local passes of the clients it
+	// Owns to remote executors (internal/transport): the round engine
+	// ships them work orders instead of training in-process, measures
+	// the actual wire traffic into CommStats, and maps transport
+	// failures onto the round's reported set. nil keeps every client
+	// in-process.
+	Remote RemoteTrainer
 
 	// shared is the lazily created per-Env scratch holder (see
 	// EnvShared); behind a pointer so Env stays copyable.

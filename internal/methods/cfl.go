@@ -99,19 +99,20 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 		ids := clusterIDs(assign)
 		for _, id := range ids {
 			members := membersOf(assign, id)
-			// Under a scenario, split statistics may only use updates
-			// that actually arrived this round — deltas of stragglers
-			// and dropouts are stale (or never written). membersOf
-			// returns a fresh slice, so filtering in place is safe.
-			if d.ScenarioActive() {
-				arrived := members[:0]
-				for _, i := range members {
-					if d.Reported(i) {
-						arrived = append(arrived, i)
-					}
+			// Split statistics may only use updates that actually
+			// arrived this round — deltas of scenario stragglers,
+			// dropouts, and transport-failed remote visits are stale
+			// (or never written). Reported covers all three (and is
+			// uniformly true on a plain round, making this a no-op);
+			// membersOf returns a fresh slice, so filtering in place
+			// is safe.
+			arrived := members[:0]
+			for _, i := range members {
+				if d.Reported(i) {
+					arrived = append(arrived, i)
 				}
-				members = arrived
 			}
+			members = arrived
 			vecs, ws := d.GatherCluster(assign, id)
 			if len(vecs) == 0 {
 				continue // every member missed the deadline this round

@@ -1,0 +1,136 @@
+package transport_test
+
+// Transport dispatch benchmarks: what one client visit costs over each
+// transport, and what the pure protocol layer (frame build + parse +
+// codec) costs without training. Loopback vs TCP isolates the price of
+// real sockets; the encode benchmarks isolate the price of the frames.
+
+import (
+	"testing"
+	"time"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/transport"
+	"fedclust/internal/wire"
+)
+
+// benchTransport builds a golden-env service behind the given dial mode.
+func benchLoopback(b *testing.B) (transport.Transport, *fl.Env, int) {
+	b.Helper()
+	env, err := goldenSpec(77).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := transport.NewService(env)
+	return transport.NewLoopback(svc, wire.Float64), env, svc.NumParams()
+}
+
+func benchTCP(b *testing.B) (transport.Transport, *fl.Env, int) {
+	b.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { coord.Close() })
+	specBytes, err := goldenSpec(77).Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		conn, _, _, sb, err := transport.Join(coord.Addr(), "bench-node")
+		if err != nil {
+			return
+		}
+		spec, err := transport.ParseSpec(sb)
+		if err != nil {
+			return
+		}
+		env, err := spec.Build()
+		if err != nil {
+			return
+		}
+		_ = transport.NewService(env).ServeConn(conn)
+	}()
+	nodes, err := coord.AcceptNodes(1, 6, specBytes, wire.Float64, 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { nodes[0].Close() })
+	env, err := goldenSpec(77).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nodes[0].TCP, env, transport.NewService(env).NumParams()
+}
+
+func benchTrain(b *testing.B, tr transport.Transport, env *fl.Env, numParams int) {
+	req := &fl.RemoteRequest{
+		Client: 0, Round: 0, Cluster: -1, Layer: fl.FullParams,
+		Cfg:   fl.LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9},
+		Start: make([]float64, numParams),
+	}
+	out := make([]float64, numParams)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Round = i
+		if _, _, err := tr.Train(req, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackTrain is one full client visit over the in-process
+// transport (training included) — the floor every networked dispatch is
+// measured against.
+func BenchmarkLoopbackTrain(b *testing.B) {
+	tr, env, n := benchLoopback(b)
+	benchTrain(b, tr, env, n)
+}
+
+// BenchmarkTCPTrain is the same visit over a real localhost socket:
+// frame build, two socket crossings, node-side decode/train/encode.
+func BenchmarkTCPTrain(b *testing.B) {
+	tr, env, n := benchTCP(b)
+	benchTrain(b, tr, env, n)
+}
+
+// BenchmarkTCPTrainConcurrent drives 6 clients' visits concurrently over
+// one multiplexed connection — the engine's actual access pattern.
+func BenchmarkTCPTrainConcurrent(b *testing.B) {
+	tr, _, numParams := benchTCP(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := &fl.RemoteRequest{
+			Client: 0, Round: 0, Cluster: -1, Layer: fl.FullParams,
+			Cfg:   fl.LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9},
+			Start: make([]float64, numParams),
+		}
+		out := make([]float64, numParams)
+		i := 0
+		for pb.Next() {
+			req.Client = i % 6
+			req.Round = i
+			i++
+			if _, _, err := tr.Train(req, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTrainFrameEncode is the pure protocol cost of building one
+// work-order frame (1384-param model, lossless codec) into a reused
+// buffer.
+func BenchmarkTrainFrameEncode(b *testing.B) {
+	req := &fl.RemoteRequest{
+		Client: 0, Round: 0, Cluster: -1, Layer: fl.FullParams,
+		Cfg:   fl.LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1},
+		Start: make([]float64, 1384),
+	}
+	buf := appendTrainFrame(nil, 1, req, wire.Float64)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendTrainFrame(buf[:0], uint32(i), req, wire.Float64)
+	}
+}

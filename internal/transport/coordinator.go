@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"fedclust/internal/wire"
+)
+
+// handshakeTimeout bounds the hello/welcome exchange on both sides.
+const handshakeTimeout = 30 * time.Second
+
+// Handshake frame ceilings. A hello is a version plus a u16-length name
+// (≤ ~64 KiB by construction); a welcome adds the spec JSON. Both are
+// read from peers that have proven nothing yet, so the caps keep a
+// stray or hostile length prefix from forcing a MaxFrame-sized
+// allocation on a connection that never sends another byte.
+const (
+	maxHelloFrame   = 1 << 17
+	maxWelcomeFrame = 1 << 24
+)
+
+// Coordinator accepts node connections for a distributed run. The
+// coordinator owns the round schedule; nodes dial in, announce
+// themselves, receive the environment spec plus their client range, and
+// then serve train requests over the same connection.
+type Coordinator struct {
+	ln net.Listener
+}
+
+// Listen opens the coordinator's listener ("host:port"; ":0" picks a
+// free port).
+func Listen(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the bound listen address (dial target for fedsim join).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops accepting new nodes (existing node transports stay up
+// until their own Close).
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Node is one joined node: its transport plus the client range the
+// coordinator assigned it.
+type Node struct {
+	*TCP
+	Lo, Hi int
+}
+
+// AcceptNodes waits for n nodes to join, handshakes each (hello in,
+// welcome out — carrying spec and a contiguous slice of the nClients
+// population), and returns their transports in join order. codec is the
+// parameter encoding of the run; timeout the per-request deadline
+// (0 = none).
+func (c *Coordinator) AcceptNodes(n, nClients int, spec []byte, codec wire.Codec, timeout time.Duration) ([]*Node, error) {
+	if n < 1 || nClients < n {
+		return nil, fmt.Errorf("transport: cannot spread %d clients across %d nodes", nClients, n)
+	}
+	ranges := PartitionClients(nClients, n)
+	nodes := make([]*Node, 0, n)
+	for len(nodes) < n {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			closeNodes(nodes)
+			return nil, err
+		}
+		i := len(nodes)
+		name, err := handshakeAccept(conn, ranges[i][0], ranges[i][1], spec)
+		if err != nil {
+			// A stray or malformed connection (port scanner, health
+			// check, wrong protocol) must not take down a coordinator
+			// with real nodes already joined: drop it, keep accepting.
+			conn.Close()
+			continue
+		}
+		nodes = append(nodes, &Node{
+			TCP: newTCP(conn, name, codec, timeout),
+			Lo:  ranges[i][0], Hi: ranges[i][1],
+		})
+	}
+	return nodes, nil
+}
+
+// FleetOf builds the round engine's RemoteTrainer from joined nodes:
+// each node's assigned range routes to its transport, every other
+// client stays in-process.
+func FleetOf(nClients int, nodes []*Node) *Fleet {
+	f := NewFleet(nClients)
+	for _, nd := range nodes {
+		f.Assign(nd.TCP, nd.Lo, nd.Hi)
+	}
+	return f
+}
+
+func closeNodes(nodes []*Node) {
+	for _, nd := range nodes {
+		nd.Close()
+	}
+}
+
+// handshakeAccept runs the coordinator side of the handshake on a fresh
+// connection: read hello, send welcome.
+func handshakeAccept(conn net.Conn, lo, hi int, spec []byte) (name string, err error) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	fr := &frameReader{r: conn, limit: maxHelloFrame}
+	t, body, _, err := fr.next()
+	if err != nil {
+		return "", err
+	}
+	if t != MsgHello {
+		return "", fmt.Errorf("expected hello, got %s", t)
+	}
+	if name, err = parseHello(body); err != nil {
+		return "", err
+	}
+	welcome := endFrame(appendWelcome(beginFrame(nil, MsgWelcome), lo, hi, spec), 0)
+	if _, err = conn.Write(welcome); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Join dials a coordinator and runs the node side of the handshake. It
+// returns the established connection (hand it to Service.ServeConn), the
+// node's assigned client range, and the coordinator's spec payload (a
+// copy the caller owns).
+func Join(addr, name string) (conn net.Conn, lo, hi int, spec []byte, err error) {
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hello := endFrame(appendHello(beginFrame(nil, MsgHello), name), 0)
+	if _, err = conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, 0, 0, nil, err
+	}
+	fr := &frameReader{r: conn, limit: maxWelcomeFrame}
+	t, body, _, err := fr.next()
+	if err != nil {
+		conn.Close()
+		return nil, 0, 0, nil, err
+	}
+	if t != MsgWelcome {
+		conn.Close()
+		return nil, 0, 0, nil, fmt.Errorf("transport: expected welcome, got %s", t)
+	}
+	var sp []byte
+	if lo, hi, sp, err = parseWelcome(body); err != nil {
+		conn.Close()
+		return nil, 0, 0, nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, lo, hi, append([]byte(nil), sp...), nil
+}

@@ -1,0 +1,22 @@
+package transport
+
+import (
+	"net"
+	"time"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/wire"
+)
+
+// NewTCPForTest wraps an arbitrary established connection in the TCP
+// transport (no handshake), for protocol-level tests over net.Pipe.
+func NewTCPForTest(conn net.Conn, codec wire.Codec, timeout time.Duration) *TCP {
+	return newTCP(conn, "test", codec, timeout)
+}
+
+// AppendTrainFrameForTest builds a complete train request frame — the
+// exact bytes TCP.Train writes — for size and protocol tests.
+func AppendTrainFrameForTest(dst []byte, id uint32, req *fl.RemoteRequest, codec wire.Codec) []byte {
+	start := len(dst)
+	return endFrame(appendTrainMsg(beginFrame(dst, MsgTrain), id, req, codec), start)
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"sync"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/wire"
+)
+
+// Loopback is the in-process transport: requests execute directly on a
+// Service, with no sockets and — under the lossless Float64 codec — no
+// copies of the parameter vectors at all. It accounts the exact frame
+// sizes the TCP transport would put on the wire for the same exchange,
+// so communication stats over loopback equal a real networked run's
+// measured bytes, byte for byte.
+//
+// Determinism contract: a Float64 loopback round is bit-identical to the
+// in-process engine path (the Service runs the same arithmetic
+// DefaultLocal runs, and nothing is encoded). A lossy codec round-trips
+// both directions through wire encode/decode — exactly the quantization
+// a socket pair applies — so loopback matches TCP under every codec.
+type Loopback struct {
+	svc   *Service
+	codec wire.Codec
+	// scratch pools the lossy path's codec buffers across concurrent
+	// visits so warm rounds stay allocation-free under every codec.
+	scratch sync.Pool
+}
+
+// lbScratch is one lossy-path round-trip workspace.
+type lbScratch struct {
+	buf []byte
+	vec []float64
+}
+
+// NewLoopback wraps a service in a loopback transport under codec c.
+func NewLoopback(svc *Service, c wire.Codec) *Loopback {
+	l := &Loopback{svc: svc, codec: c}
+	l.scratch.New = func() any { return &lbScratch{} }
+	return l
+}
+
+// Train implements Transport.
+func (l *Loopback) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
+	down = int64(TrainRequestSize(l.codec, len(req.Start)))
+	up = int64(TrainResponseSize(l.codec, len(out)))
+	if l.codec == wire.Float64 {
+		if err := l.svc.Execute(req, out); err != nil {
+			return down, 0, err
+		}
+		return down, up, nil
+	}
+	// Lossy codec: apply the same narrowing a socket pair would — the
+	// node trains on the decoded (quantized) start and the coordinator
+	// reads back the decoded (quantized) update — through pooled codec
+	// scratch, so even the lossy path allocates nothing warm.
+	s := l.scratch.Get().(*lbScratch)
+	defer l.scratch.Put(s)
+	var cerr error
+	s.buf = wire.EncodeInto(s.buf[:0], l.codec, req.Start)
+	if s.vec, cerr = wire.DecodeInto(s.vec, s.buf); cerr != nil {
+		return down, 0, cerr
+	}
+	rt := *req
+	rt.Start = s.vec
+	if err := l.svc.Execute(&rt, out); err != nil {
+		return down, 0, err
+	}
+	// The update quantizes in place: out was just encoded from out, so
+	// decoding back into it is exact-size by construction.
+	s.buf = wire.EncodeInto(s.buf[:0], l.codec, out)
+	if _, cerr = wire.DecodeInto(out, s.buf); cerr != nil {
+		return down, 0, cerr
+	}
+	return down, up, nil
+}
+
+// Close implements Transport (no resources to release).
+func (*Loopback) Close() error { return nil }

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/wire"
+)
+
+// writeTimeout bounds any single frame write so a dead peer cannot park
+// a sender forever.
+const writeTimeout = 30 * time.Second
+
+// Service executes train work orders against a local replica of the
+// environment — the node side of every transport. It owns a pool of
+// execution slots (one pooled model + training scratch each, sized to
+// the environment's worker count) so concurrent requests train on warm
+// state without locking; slot checkout is the node's backpressure. The
+// arithmetic of a slot execution is exactly the engine's DefaultLocal:
+// load the start vector, run the deterministic (client, round) stream's
+// local pass, flatten the result — which is what makes a networked round
+// bit-identical to an in-process one under the lossless codec.
+type Service struct {
+	env       *fl.Env
+	numParams int
+	layerDims []int
+	slots     chan *slot
+}
+
+// slot is one execution lane: a pooled model, its training scratch, and
+// the codec buffers of the connection path.
+type slot struct {
+	model   *nn.Sequential
+	scratch fl.TrainScratch
+	rng     rng.Rng
+	vec     []float64 // decoded start parameters (reused)
+	out     []float64 // result vector backing store (cap numParams)
+	enc     []byte    // response frame build buffer (reused)
+}
+
+// NewService builds a service over the node's environment replica with
+// env.WorkerCount() execution slots.
+func NewService(env *fl.Env) *Service {
+	env.Validate()
+	ref := env.NewModel()
+	s := &Service{
+		env:       env,
+		numParams: ref.NumParams(),
+		layerDims: make([]int, nn.NumWeightLayers(ref)),
+	}
+	for k := range s.layerDims {
+		s.layerDims[k] = nn.LayerParamSize(ref, k)
+	}
+	w := env.WorkerCount()
+	s.slots = make(chan *slot, w)
+	for i := 0; i < w; i++ {
+		sl := &slot{out: make([]float64, s.numParams)}
+		if i == 0 {
+			sl.model = ref // reuse the reference model instead of rebuilding
+		}
+		s.slots <- sl
+	}
+	return s
+}
+
+// NumParams returns the scalar parameter count of the replica's model.
+func (s *Service) NumParams() int { return s.numParams }
+
+// outLen returns the result dimension a layer selector produces.
+func (s *Service) outLen(layer int) (int, error) {
+	switch {
+	case layer == fl.FullParams:
+		return s.numParams, nil
+	case layer == fl.FinalLayer && len(s.layerDims) > 0:
+		return s.layerDims[len(s.layerDims)-1], nil
+	case layer >= 0 && layer < len(s.layerDims):
+		return s.layerDims[layer], nil
+	default:
+		return 0, fmt.Errorf("transport: layer selector %d outside %d weight layers", layer, len(s.layerDims))
+	}
+}
+
+// Execute runs one work order in-process and writes the selected vector
+// into out (whose length must match the selector's dimension). It is the
+// Loopback transport's fast path and is safe for concurrent use.
+func (s *Service) Execute(req *fl.RemoteRequest, out []float64) error {
+	n, err := s.outLen(req.Layer)
+	if err != nil {
+		return err
+	}
+	if len(out) != n {
+		return fmt.Errorf("transport: result buffer %d values, selector needs %d", len(out), n)
+	}
+	sl := <-s.slots
+	defer func() { s.slots <- sl }()
+	return s.run(sl, req, out)
+}
+
+// run trains a slot on the request and extracts the selected vector into
+// out, which the caller has already sized via outLen (the selector is
+// valid and len(out) matches it). Every failure is an error, never a
+// panic — requests may arrive off the wire.
+func (s *Service) run(sl *slot, req *fl.RemoteRequest, out []float64) error {
+	if req.Client < 0 || req.Client >= len(s.env.Clients) {
+		return fmt.Errorf("transport: client %d outside population of %d", req.Client, len(s.env.Clients))
+	}
+	if err := validateCfg(req.Cfg); err != nil {
+		return err
+	}
+	if len(req.Start) != s.numParams {
+		return fmt.Errorf("transport: start vector %d params, model has %d", len(req.Start), s.numParams)
+	}
+	if sl.model == nil {
+		sl.model = s.env.NewModel()
+	}
+	nn.LoadParams(sl.model, req.Start)
+	s.env.ClientRngInto(&sl.rng, req.Client, req.Round)
+	sl.scratch.LocalUpdate(sl.model, s.env.Clients[req.Client].Train, req.Cfg, &sl.rng)
+	switch req.Layer {
+	case fl.FullParams:
+		nn.FlattenParamsInto(sl.model, out)
+	case fl.FinalLayer:
+		copy(out, nn.FinalLayerVector(sl.model))
+	default:
+		copy(out, nn.LayerParamVector(sl.model, req.Layer))
+	}
+	return nil
+}
+
+// ServeConn runs the node side of the protocol on an established
+// connection until the coordinator says Bye, the peer disconnects, or
+// the stream turns invalid. Requests are dispatched concurrently (slot
+// checkout bounds the parallelism; heavy tensor kernels inside training
+// still share the process-wide internal/sched executor); responses are
+// written as each finishes. In-flight work drains before return.
+func (s *Service) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	// Buffered like the coordinator's read loop: back-to-back requests
+	// coalesce instead of costing two read syscalls per frame.
+	fr := &frameReader{r: bufio.NewReaderSize(conn, 1<<16)}
+	for {
+		t, body, _, err := fr.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil // peer hung up between frames: orderly enough
+			}
+			return err
+		}
+		switch t {
+		case MsgBye:
+			return nil
+		case MsgTrain:
+			m, err := parseTrainMsg(body)
+			if err != nil {
+				return err // framing is broken; drop the connection
+			}
+			sl := <-s.slots
+			// Decode before the next read — m.Frame aliases the reader's
+			// buffer. The response mirrors the request's codec.
+			var decErr error
+			sl.vec, decErr = wire.DecodeInto(sl.vec, m.Frame)
+			codec, cerr := wire.FrameCodec(m.Frame)
+			if cerr != nil {
+				codec = wire.Float64 // error reply; DecodeInto already failed
+			}
+			req := fl.RemoteRequest{
+				Client: m.Client, Round: m.Round, Cluster: m.Cluster,
+				Layer: m.Layer, Cfg: m.Cfg, Start: sl.vec,
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { s.slots <- sl }()
+				buf := beginFrame(sl.enc[:0], MsgUpdate)
+				runErr := decErr
+				if runErr == nil {
+					n, err := s.outLen(req.Layer)
+					if err != nil {
+						runErr = err
+					} else if runErr = s.run(sl, &req, sl.out[:n]); runErr == nil {
+						buf = appendUpdateOK(buf, m.ReqID, codec, sl.out[:n])
+					}
+				}
+				if runErr != nil {
+					buf = appendUpdateErr(buf, m.ReqID, runErr.Error())
+				}
+				buf = endFrame(buf, 0)
+				sl.enc = buf
+				wmu.Lock()
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				_, _ = conn.Write(buf) // a dead peer surfaces on the read side
+				wmu.Unlock()
+			}()
+		default:
+			// Unknown types are skipped for forward compatibility.
+		}
+	}
+}

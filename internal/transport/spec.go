@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+)
+
+// Spec is the environment description a coordinator ships to joining
+// nodes so both sides hold identical client populations: the synthetic
+// dataset recipe, the label-group partition, the model architecture, and
+// the deterministic seed. Everything a node derives from it — datasets,
+// client splits, model weights, per-visit RNG streams — is a pure
+// function of the spec, which is what makes a networked round
+// reproducible: the coordinator never ships data, only the recipe.
+//
+// The handshake carries it as JSON: it is exchanged once per node, so
+// wire compactness is irrelevant next to debuggability.
+type Spec struct {
+	// Dataset is the synthetic data recipe (deterministic per seed).
+	Dataset data.SynthConfig `json:"dataset"`
+	// Groups are the label groups clients are drawn from; PerGroup the
+	// client count per group (fl.BuildGroupClients).
+	Groups   [][]int `json:"groups"`
+	PerGroup []int   `json:"per_group"`
+	// Hidden lists the MLP's hidden-layer widths (input and output
+	// widths come from the dataset geometry).
+	Hidden []int `json:"hidden"`
+	// Seed is the environment seed every deterministic stream derives
+	// from.
+	Seed uint64 `json:"seed"`
+	// Rounds, EvalEvery, and Local mirror the fl.Env fields (the
+	// coordinator's schedule; nodes receive effective configs per
+	// request but build the same Env shape for validation).
+	Rounds    int            `json:"rounds"`
+	EvalEvery int            `json:"eval_every"`
+	Local     fl.LocalConfig `json:"local"`
+}
+
+// Spec size ceilings: generous for anything this simulator trains,
+// small enough that a corrupt or hostile spec cannot drive an
+// allocation bomb before validation.
+const (
+	maxSpecDim       = 1 << 12 // C, H, or W individually
+	maxSpecPixels    = 1 << 22 // C·H·W per image
+	maxSpecPerClass  = 1 << 20 // examples per class per split
+	maxSpecClasses   = 1 << 12
+	maxSpecExamples  = 1 << 24 // examples across all classes and splits
+	maxSpecClients   = 1 << 16
+	maxSpecHidden    = 1 << 20 // scalars per hidden layer
+	maxSpecHiddenNum = 64      // hidden layers
+)
+
+// check bounds the recipe's sizes before anything is allocated from it.
+func (s *Spec) check() error {
+	d := s.Dataset
+	// Each dimension is bounded individually before the product is
+	// taken in 64 bits — a hostile spec must not wrap the product past
+	// the ceiling.
+	if d.C < 1 || d.H < 1 || d.W < 1 || d.C > maxSpecDim || d.H > maxSpecDim || d.W > maxSpecDim ||
+		int64(d.C)*int64(d.H)*int64(d.W) > maxSpecPixels {
+		return fmt.Errorf("transport: spec image geometry %dx%dx%d out of bounds", d.C, d.H, d.W)
+	}
+	if d.Classes < 2 || d.Classes > maxSpecClasses {
+		return fmt.Errorf("transport: spec class count %d out of bounds", d.Classes)
+	}
+	if d.TrainPerClass < 1 || d.TrainPerClass > maxSpecPerClass ||
+		d.TestPerClass < 0 || d.TestPerClass > maxSpecPerClass {
+		return fmt.Errorf("transport: spec per-class counts %d/%d out of bounds", d.TrainPerClass, d.TestPerClass)
+	}
+	if int64(d.TrainPerClass+d.TestPerClass)*int64(d.Classes) > maxSpecExamples {
+		return fmt.Errorf("transport: spec describes %d examples, limit %d",
+			int64(d.TrainPerClass+d.TestPerClass)*int64(d.Classes), int64(maxSpecExamples))
+	}
+	if len(s.Groups) == 0 || len(s.Groups) != len(s.PerGroup) {
+		return fmt.Errorf("transport: spec has %d groups but %d per-group counts", len(s.Groups), len(s.PerGroup))
+	}
+	clients := 0
+	for i, g := range s.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("transport: spec group %d is empty", i)
+		}
+		for _, label := range g {
+			if label < 0 || label >= d.Classes {
+				return fmt.Errorf("transport: spec group %d has label %d outside %d classes", i, label, d.Classes)
+			}
+		}
+		if s.PerGroup[i] < 1 {
+			return fmt.Errorf("transport: spec group %d has %d clients", i, s.PerGroup[i])
+		}
+		clients += s.PerGroup[i]
+	}
+	if clients > maxSpecClients {
+		return fmt.Errorf("transport: spec describes %d clients, limit %d", clients, maxSpecClients)
+	}
+	if len(s.Hidden) > maxSpecHiddenNum {
+		return fmt.Errorf("transport: spec has %d hidden layers, limit %d", len(s.Hidden), maxSpecHiddenNum)
+	}
+	for _, h := range s.Hidden {
+		if h < 1 || h > maxSpecHidden {
+			return fmt.Errorf("transport: spec hidden width %d out of bounds", h)
+		}
+	}
+	if s.Rounds < 1 {
+		return fmt.Errorf("transport: spec has %d rounds", s.Rounds)
+	}
+	if err := s.Local.Check(); err != nil {
+		return fmt.Errorf("transport: spec local config: %w", err)
+	}
+	return nil
+}
+
+// Marshal encodes the spec for the welcome frame.
+func (s *Spec) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// ParseSpec decodes a welcome frame's spec payload.
+func ParseSpec(b []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("transport: bad spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Build constructs the environment the spec describes. Coordinator and
+// node call the same code, so their replicas are identical by
+// construction. A spec arrives off the wire, so Build never panics: it
+// bounds-checks the recipe before materializing anything (a hostile
+// size field must not drive an allocation bomb) and converts the
+// substrate's validation panics into errors.
+func (s *Spec) Build() (env *fl.Env, err error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	// data.Generate and Env.Validate report degenerate configs by
+	// panicking (their callers are in-process and trusted); here the
+	// config crossed a process boundary, so recover into the error
+	// return a node can log and die cleanly on.
+	defer func() {
+		if r := recover(); r != nil {
+			env, err = nil, fmt.Errorf("transport: bad spec: %v", r)
+		}
+	}()
+	train, test := data.Generate(s.Dataset)
+	clients, _ := fl.BuildGroupClients(train, test, s.Groups, s.PerGroup, rng.New(s.Seed))
+	dims := make([]int, 0, len(s.Hidden)+2)
+	dims = append(dims, s.Dataset.C*s.Dataset.H*s.Dataset.W)
+	dims = append(dims, s.Hidden...)
+	dims = append(dims, s.Dataset.Classes)
+	env = &fl.Env{
+		Clients:   clients,
+		Factory:   func(r *rng.Rng) *nn.Sequential { return nn.MLP(r, dims...) },
+		Rounds:    s.Rounds,
+		Local:     s.Local,
+		Seed:      s.Seed,
+		EvalEvery: s.EvalEvery,
+	}
+	env.Validate()
+	return env, nil
+}

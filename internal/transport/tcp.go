@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/wire"
+)
+
+// ErrTimeout is wrapped by Train errors for updates that missed the
+// transport's deadline — the networked analogue of a scenario dropout.
+var ErrTimeout = errors.New("deadline exceeded")
+
+// ErrClosed is wrapped by Train errors raised after the connection died
+// or the transport was closed.
+var ErrClosed = errors.New("connection closed")
+
+// TCP is the coordinator side of one node connection. A single
+// connection is reused for the whole run: concurrent Train calls are
+// multiplexed over it by request id, with a dedicated read loop
+// delivering each update to its waiter. Per-request deadlines map the
+// scenario layer's virtual round deadline onto wall-clock time — a node
+// that cannot answer in time is reported failed, and its late update is
+// discarded on arrival.
+type TCP struct {
+	conn    net.Conn
+	name    string
+	codec   wire.Codec
+	timeout time.Duration
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	pmu     sync.Mutex
+	pending map[uint32]*pendingReq
+	nextID  atomic.Uint32
+
+	readDone chan struct{}
+	readErr  error // set before readDone closes
+	closed   atomic.Bool
+}
+
+// pendingReq is one in-flight request's rendezvous state. claimed
+// arbitrates the race between delivery and abandonment: exactly one of
+// the read loop (about to decode into out) and the waiter (timing out
+// or observing the connection die) wins the CAS. The loser of a
+// delivery-side win must consume done — out is only safe to reclaim
+// after the decode finishes — and a waiter-side win means the read loop
+// discards the late update without ever touching out.
+type pendingReq struct {
+	out     []float64
+	up      int64 // response frame wire size, set before done is signalled
+	done    chan error
+	claimed atomic.Bool
+}
+
+// newTCP wraps an established, handshake-complete connection. codec is
+// the parameter encoding for both directions; timeout (0 = none) bounds
+// each request round trip.
+func newTCP(conn net.Conn, name string, codec wire.Codec, timeout time.Duration) *TCP {
+	t := &TCP{
+		conn: conn, name: name, codec: codec, timeout: timeout,
+		pending:  make(map[uint32]*pendingReq),
+		readDone: make(chan struct{}),
+	}
+	go t.readLoop()
+	return t
+}
+
+// Name returns the node's self-reported name.
+func (t *TCP) Name() string { return t.name }
+
+// Train implements Transport.
+func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
+	if t.closed.Load() {
+		return 0, 0, fmt.Errorf("transport: %s: %w", t.name, ErrClosed)
+	}
+	id := t.nextID.Add(1)
+	p := &pendingReq{out: out, done: make(chan error, 1)}
+	t.pmu.Lock()
+	t.pending[id] = p
+	t.pmu.Unlock()
+
+	t.wmu.Lock()
+	buf := beginFrame(t.wbuf[:0], MsgTrain)
+	buf = appendTrainMsg(buf, id, req, t.codec)
+	buf = endFrame(buf, 0)
+	t.wbuf = buf
+	t.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	sent, werr := t.conn.Write(buf)
+	t.wmu.Unlock()
+	// Measured, not modeled: a failed write counts only what actually
+	// left the process.
+	down = int64(sent)
+	if werr != nil {
+		t.forget(id)
+		return down, 0, fmt.Errorf("transport: send to %s: %w", t.name, werr)
+	}
+
+	var deadline <-chan time.Time
+	if t.timeout > 0 {
+		timer := time.NewTimer(t.timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	wrap := func(err error) error {
+		if err != nil {
+			err = fmt.Errorf("transport: %s: client %d round %d: %w", t.name, req.Client, req.Round, err)
+		}
+		return err
+	}
+	select {
+	case err = <-p.done:
+		return down, p.up, wrap(err)
+	case <-deadline:
+		t.forget(id)
+		if !p.claimed.CompareAndSwap(false, true) {
+			// The read loop won the claim concurrently: its decode into
+			// out is committed or in flight, so the result must be
+			// consumed — out is not safe to reclaim until it lands.
+			err = <-p.done
+			return down, p.up, wrap(err)
+		}
+		return down, 0, fmt.Errorf("transport: %s: client %d round %d update after %v: %w",
+			t.name, req.Client, req.Round, t.timeout, ErrTimeout)
+	case <-t.readDone:
+		t.forget(id)
+		if !p.claimed.CompareAndSwap(false, true) {
+			// Delivered concurrently with the read loop's exit.
+			err = <-p.done
+			return down, p.up, wrap(err)
+		}
+		return down, 0, fmt.Errorf("transport: %s: %w: %v", t.name, ErrClosed, t.readErr)
+	}
+}
+
+// forget abandons an in-flight request; a late update for it is dropped
+// by the read loop.
+func (t *TCP) forget(id uint32) {
+	t.pmu.Lock()
+	delete(t.pending, id)
+	t.pmu.Unlock()
+}
+
+// readLoop delivers updates to their waiting requests until the
+// connection dies.
+func (t *TCP) readLoop() {
+	fr := &frameReader{r: bufio.NewReaderSize(t.conn, 1<<16)}
+	var exitErr error
+	for {
+		typ, body, n, err := fr.next()
+		if err != nil {
+			exitErr = err
+			break
+		}
+		if typ != MsgUpdate {
+			continue // forward compatibility: skip unknown traffic
+		}
+		m, err := parseUpdateMsg(body)
+		if err != nil {
+			exitErr = err
+			break
+		}
+		t.pmu.Lock()
+		p := t.pending[m.ReqID]
+		delete(t.pending, m.ReqID)
+		t.pmu.Unlock()
+		if p == nil || !p.claimed.CompareAndSwap(false, true) {
+			// Timed out or forgotten: the waiter's claim won, so the
+			// late update is discarded without ever touching out.
+			continue
+		}
+		// Claim held: out stays ours until done is signalled (an
+		// abandoning waiter that lost the claim blocks on done).
+		p.up = int64(n)
+		if m.Err != "" {
+			p.done <- errors.New(m.Err)
+			continue
+		}
+		dec, derr := wire.DecodeInto(p.out, m.Frame)
+		if derr == nil && len(dec) != len(p.out) {
+			derr = fmt.Errorf("update carries %d values, expected %d", len(dec), len(p.out))
+		}
+		p.done <- derr
+	}
+	t.readErr = exitErr
+	close(t.readDone)
+}
+
+// Close says Bye, tears the connection down, and wakes every in-flight
+// waiter with ErrClosed.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.wmu.Lock()
+	bye := endFrame(beginFrame(t.wbuf[:0], MsgBye), 0)
+	t.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = t.conn.Write(bye) // best effort
+	t.wmu.Unlock()
+	err := t.conn.Close()
+	<-t.readDone
+	return err
+}

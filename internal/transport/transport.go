@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"fmt"
+
+	"fedclust/internal/fl"
+)
+
+// Transport executes one client's local training pass wherever the
+// client's data lives — the calling process (Loopback) or a node behind
+// a socket (TCP). The signature mirrors fl.RemoteTrainer.Train so a
+// Fleet can route per client; implementations must be safe for
+// concurrent Train calls, because the round engine issues one per
+// parallel client visit.
+type Transport interface {
+	// Train ships the request's start parameters under the transport's
+	// codec, runs the pass remotely, and decodes the selected result
+	// vector into out. down and up are the bytes that crossed the wire
+	// in each direction for this exchange.
+	Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error)
+	// Close releases the transport (sockets, pending waiters).
+	Close() error
+}
+
+// Fleet maps every client of an environment to the transport that owns
+// it (or to in-process execution) and implements fl.RemoteTrainer — the
+// object an Env.Remote points at. The zero client set trains locally;
+// Assign carves out remote ranges.
+type Fleet struct {
+	transports []Transport
+	owner      []int // client → index into transports, -1 = in-process
+}
+
+// NewFleet builds a fleet over n clients with every client in-process.
+func NewFleet(n int) *Fleet {
+	f := &Fleet{owner: make([]int, n)}
+	for i := range f.owner {
+		f.owner[i] = -1
+	}
+	return f
+}
+
+// Assign routes clients [lo, hi) to t.
+func (f *Fleet) Assign(t Transport, lo, hi int) {
+	if lo < 0 || hi > len(f.owner) || lo > hi {
+		panic(fmt.Sprintf("transport: assign range [%d,%d) outside population of %d", lo, hi, len(f.owner)))
+	}
+	idx := len(f.transports)
+	f.transports = append(f.transports, t)
+	for i := lo; i < hi; i++ {
+		f.owner[i] = idx
+	}
+}
+
+// Owns implements fl.RemoteTrainer.
+func (f *Fleet) Owns(client int) bool {
+	return client >= 0 && client < len(f.owner) && f.owner[client] >= 0
+}
+
+// Train implements fl.RemoteTrainer: dispatch to the owning transport.
+func (f *Fleet) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
+	if !f.Owns(req.Client) {
+		return 0, 0, fmt.Errorf("transport: client %d is not remotely owned", req.Client)
+	}
+	return f.transports[f.owner[req.Client]].Train(req, out)
+}
+
+// Close closes every assigned transport, returning the first error.
+func (f *Fleet) Close() error {
+	var first error
+	seen := map[Transport]bool{}
+	for _, t := range f.transports {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PartitionClients splits n clients into k contiguous near-equal ranges
+// — the coordinator's default node assignment.
+func PartitionClients(n, k int) [][2]int {
+	if k < 1 || n < k {
+		panic(fmt.Sprintf("transport: cannot partition %d clients across %d nodes", n, k))
+	}
+	out := make([][2]int, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+//go:build !race
+
+package wire
+
+import (
+	"testing"
+
+	"fedclust/internal/rng"
+)
+
+// TestEncodeDecodeIntoZeroAlloc: the warm transport path — EncodeInto
+// over a grown buffer, DecodeInto over a grown vector — must not touch
+// the heap. This is the contract that lets the TCP transport ship one
+// frame per client visit without per-message garbage.
+func TestEncodeDecodeIntoZeroAlloc(t *testing.T) {
+	v := randVec(rng.New(9), 4096)
+	for _, c := range []Codec{Float64, Float32, Quant8} {
+		buf := make([]byte, 0, EncodedSize(c, len(v)))
+		dst := make([]float64, len(v))
+		if allocs := testing.AllocsPerRun(20, func() {
+			buf = EncodeInto(buf[:0], c, v)
+			var err error
+			dst, err = DecodeInto(dst, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: warm EncodeInto+DecodeInto allocated %.1f times", c, allocs)
+		}
+	}
+}

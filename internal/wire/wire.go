@@ -66,8 +66,18 @@ func EncodedSize(c Codec, n int) int {
 
 // Encode frames vec under the chosen codec.
 func Encode(c Codec, vec []float64) []byte {
-	out := make([]byte, 0, EncodedSize(c, len(vec)))
-	out = append(out, byte(magic>>8), byte(magic&0xff), byte(c), 0)
+	return EncodeInto(make([]byte, 0, EncodedSize(c, len(vec))), c, vec)
+}
+
+// EncodeInto appends the frame for vec under codec c to dst and returns
+// the extended slice. It is the append-style form of Encode: pass a
+// reused buffer (dst[:0]) and the warm path allocates nothing. The frame
+// may land mid-buffer — its checksum covers only the bytes appended by
+// this call — so transports can append a frame directly after their own
+// message headers.
+func EncodeInto(dst []byte, c Codec, vec []float64) []byte {
+	start := len(dst)
+	out := append(dst, byte(magic>>8), byte(magic&0xff), byte(c), 0)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(vec)))
 	switch c {
 	case Float64:
@@ -99,8 +109,27 @@ func Encode(c Codec, vec []float64) []byte {
 	default:
 		panic(fmt.Sprintf("wire: unknown codec %d", uint8(c)))
 	}
-	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[start:]))
 	return out
+}
+
+// FrameCodec returns the codec a frame was encoded under without
+// decoding it — the accessor transports use to mirror a request's codec
+// in the reply, so the header layout stays this package's private
+// knowledge.
+func FrameCodec(frame []byte) (Codec, error) {
+	if len(frame) < headerLen {
+		return 0, fmt.Errorf("wire: frame too short (%d bytes)", len(frame))
+	}
+	if frame[0] != byte(magic>>8) || frame[1] != byte(magic&0xff) {
+		return 0, fmt.Errorf("wire: bad magic %#x%02x", frame[0], frame[1])
+	}
+	switch c := Codec(frame[2]); c {
+	case Float64, Float32, Quant8:
+		return c, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown codec %d", uint8(c))
+	}
 }
 
 // Decode parses a frame produced by Encode, returning the decoded values.
@@ -108,6 +137,13 @@ func Encode(c Codec, vec []float64) []byte {
 // codec, or checksum mismatch — a server must survive malformed client
 // uploads.
 func Decode(frame []byte) ([]float64, error) {
+	return DecodeInto(nil, frame)
+}
+
+// DecodeInto is Decode writing into dst (grown when too small) instead of
+// a fresh slice, so a warm receive path allocates nothing. The returned
+// slice aliases dst's backing array when it fits.
+func DecodeInto(dst []float64, frame []byte) ([]float64, error) {
 	if len(frame) < headerLen+4 {
 		return nil, fmt.Errorf("wire: frame too short (%d bytes)", len(frame))
 	}
@@ -132,7 +168,10 @@ func Decode(frame []byte) ([]float64, error) {
 		return nil, fmt.Errorf("wire: frame length %d, want %d for %s×%d", len(frame), want, c, n)
 	}
 	payload := frame[headerLen : len(frame)-4]
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	switch c {
 	case Float64:
 		for i := 0; i < n; i++ {

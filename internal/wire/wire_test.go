@@ -162,6 +162,77 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestRoundTripWithinMaxError: for every codec, Decode(Encode(c, v))
+// reconstructs each value within MaxError(c, v) — the bound the
+// compression ablation reports is the bound the codecs actually keep.
+func TestRoundTripWithinMaxError(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, codecRaw uint8) bool {
+		r := rng.New(seed)
+		n := 1 + int(nRaw)%200
+		c := Codec(codecRaw % 3)
+		v := randVec(r, n)
+		bound := MaxError(c, v)
+		dec, err := Decode(Encode(c, v))
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range v {
+			if math.Abs(dec[i]-v[i]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge vectors the normal draws miss: constants, extremes, denormals.
+	for _, v := range [][]float64{
+		{0}, {42.5, 42.5, 42.5}, {-1e300, 1e300}, {5e-324, -5e-324, 0}, {1e-12, 1, 1e12},
+	} {
+		for _, c := range []Codec{Float64, Float32, Quant8} {
+			bound := MaxError(c, v)
+			dec, err := Decode(Encode(c, v))
+			if err != nil {
+				t.Fatalf("%s %v: %v", c, v, err)
+			}
+			for i := range v {
+				if math.Abs(dec[i]-v[i]) > bound {
+					t.Fatalf("%s: |%v - %v| exceeds MaxError %v", c, dec[i], v[i], bound)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeIntoMidBuffer: a frame appended after other bytes must decode
+// identically to a standalone Encode — transports append frames directly
+// after their message headers.
+func TestEncodeIntoMidBuffer(t *testing.T) {
+	v := randVec(rng.New(5), 64)
+	for _, c := range []Codec{Float64, Float32, Quant8} {
+		prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+		buf := EncodeInto(append([]byte(nil), prefix...), c, v)
+		standalone := Encode(c, v)
+		if string(buf[len(prefix):]) != string(standalone) {
+			t.Fatalf("%s: mid-buffer frame differs from standalone", c)
+		}
+		dec, err := Decode(buf[len(prefix):])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec2, err := Decode(standalone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dec {
+			if dec[i] != dec2[i] {
+				t.Fatalf("%s: mid-buffer decode diverged at %d", c, i)
+			}
+		}
+	}
+}
+
 func TestCodecString(t *testing.T) {
 	if Float64.String() != "float64" || Float32.String() != "float32" || Quant8.String() != "quant8" {
 		t.Fatal("codec names wrong")
