@@ -18,6 +18,7 @@
 //	stragglers       H1 — system heterogeneity: stragglers, dropouts, staleness
 //	serve            networked federation: run rounds as the coordinator
 //	join             networked federation: serve local training as a node
+//	status           query a running coordinator's HTTP control plane
 //
 // Common flags:
 //
@@ -37,6 +38,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -70,7 +72,22 @@ func main() {
 	codec := fs.String("codec", "float64", "wire codec for parameter frames: float64, float32, quant8 (serve)")
 	timeoutSec := fs.Float64("timeout", 60, "per-request transport deadline in seconds, 0 = none (serve)")
 	nodeName := fs.String("name", "", "node name announced to the coordinator (join; default host-pid)")
+	ckptPath := fs.String("checkpoint", "", "write checkpoints to this file (serve)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "emit a checkpoint every N completed rounds (serve; 0 = only on demand)")
+	resumePath := fs.String("resume", "", "resume the run from this checkpoint file (serve)")
+	controlAddr := fs.String("control", "", "HTTP control-plane listen address, e.g. :7172 (serve; empty = disabled)")
+	rejoinSec := fs.Float64("rejoin", 0, "seconds to keep re-dialing a lost coordinator (join; 0 = exit on disconnect)")
+	triggerCkpt := fs.Bool("trigger-checkpoint", false, "also arm an on-demand checkpoint (status)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	// Reject nonsense numeric flags up front, in fl.LocalConfig.Check
+	// style: 0 stays each flag's "use the default" sentinel, but negative
+	// values were previously accepted silently (-workers -4 left
+	// GOMAXPROCS untouched; -timeout -1 disabled the deadline) and now
+	// fail loudly instead of meaning something by accident.
+	if err := checkNumericFlags(*workers, *rounds, *timeoutSec, *ckptEvery, *rejoinSec); err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -106,9 +123,19 @@ func main() {
 		// A bare `fedsim serve` runs FedAvg + FedClust; an explicit
 		// -methods narrows or widens the distributed set.
 		runServe(*quick, *seed, *rounds, *addr, *nodesN, *codec, *timeoutSec,
-			explicitMethods(fs, *methodsFlag))
+			explicitMethods(fs, *methodsFlag), serveControl{
+				CheckpointPath:  *ckptPath,
+				CheckpointEvery: *ckptEvery,
+				ResumePath:      *resumePath,
+				ControlAddr:     *controlAddr,
+			})
 	case "join":
-		runJoin(*addr, *nodeName)
+		runJoin(*addr, *nodeName, *rejoinSec)
+	case "status":
+		// A status query is not a run: print the snapshot and nothing
+		// else, so the JSON stays pipeable (fedsim status | jq).
+		runStatus(*addr, *triggerCkpt)
+		return
 	case "stragglers":
 		// The stragglers default method set adds the staleness-aware
 		// aggregators; an explicit -methods overrides it.
@@ -120,6 +147,27 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
+}
+
+// checkNumericFlags rejects out-of-range numeric flags with clear errors
+// (0 remains each flag's "default" sentinel throughout).
+func checkNumericFlags(workers, rounds int, timeoutSec float64, ckptEvery int, rejoinSec float64) error {
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be positive (or 0 for all cores)", workers)
+	}
+	if rounds < 0 {
+		return fmt.Errorf("invalid -rounds %d: must be positive (or 0 for the experiment default)", rounds)
+	}
+	if timeoutSec < 0 || math.IsNaN(timeoutSec) || math.IsInf(timeoutSec, 0) {
+		return fmt.Errorf("invalid -timeout %v: must be non-negative seconds (0 disables the deadline)", timeoutSec)
+	}
+	if ckptEvery < 0 {
+		return fmt.Errorf("invalid -checkpoint-every %d: must be positive rounds (or 0 for on-demand only)", ckptEvery)
+	}
+	if rejoinSec < 0 || math.IsNaN(rejoinSec) || math.IsInf(rejoinSec, 0) {
+		return fmt.Errorf("invalid -rejoin %v: must be non-negative seconds (0 exits on disconnect)", rejoinSec)
+	}
+	return nil
 }
 
 func usage() {
@@ -141,10 +189,13 @@ experiments:
   stragglers       H1: system heterogeneity (stragglers, dropouts, staleness)
   serve            run federated rounds as a network coordinator
   join             serve local training as a node of a coordinator
+  status           query a running coordinator's control plane
 
 flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N
 scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c
-transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id`)
+transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id, -rejoin s
+checkpoint flags (serve): -checkpoint path, -checkpoint-every N, -resume path, -control addr
+status flags: -addr host:port (the -control address), -trigger-checkpoint`)
 }
 
 // explicitMethods returns the parsed -methods list only when the flag

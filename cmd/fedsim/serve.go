@@ -12,10 +12,12 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
+	"fedclust/internal/control"
 	"fedclust/internal/core"
 	"fedclust/internal/data"
 	"fedclust/internal/fl"
@@ -91,9 +93,21 @@ func distTrainer(name string) (fl.Trainer, error) {
 	}
 }
 
+// serveControl bundles the coordinator's checkpoint/control-plane flags.
+type serveControl struct {
+	CheckpointPath  string
+	CheckpointEvery int
+	ResumePath      string
+	ControlAddr     string
+}
+
 // runServe is the coordinator: wait for nodes, run the methods, report.
+// With checkpointing enabled it persists snapshots to ctl.CheckpointPath
+// and, given -resume, fast-forwards the method list to the checkpointed
+// method and continues it mid-schedule; with a control address it serves
+// live progress over HTTP while the rounds run.
 func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
-	codecStr string, timeoutSec float64, methodList []string) {
+	codecStr string, timeoutSec float64, methodList []string, ctl serveControl) {
 	codec, err := parseCodec(codecStr)
 	if err != nil {
 		fatalf("%v", err)
@@ -119,6 +133,68 @@ func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
 	if err != nil {
 		fatalf("%v", err)
 	}
+	specHash := transport.SpecHash(specBytes)
+
+	// A resume checkpoint must belong to this exact spec (the hash pins
+	// dataset, population, schedule, codec-independent run identity) and
+	// to one of the methods on the list; later trainers in the list run
+	// from scratch, earlier ones are already done and are skipped.
+	var resumeCkpt *fl.Checkpoint
+	firstTrainer := 0
+	if ctl.ResumePath != "" {
+		resumeCkpt, err = fl.ReadCheckpointFile(ctl.ResumePath)
+		if err != nil {
+			fatalf("reading -resume: %v", err)
+		}
+		if resumeCkpt.SpecHash != specHash {
+			fatalf("-resume checkpoint was taken under a different run spec (hash %#x, this run %#x) — same flags required", resumeCkpt.SpecHash, specHash)
+		}
+		firstTrainer = -1
+		for i, tr := range trainers {
+			if tr.Name() == resumeCkpt.Method {
+				firstTrainer = i
+				break
+			}
+		}
+		if firstTrainer < 0 {
+			fatalf("-resume checkpoint holds %s state, not on the method list %v", resumeCkpt.Method, methodList)
+		}
+		if err := resumeCkpt.Matches(env, resumeCkpt.Method, 0); err != nil {
+			fatalf("-resume: %v", err)
+		}
+		fmt.Printf("resuming %s from %s at round %d/%d\n",
+			resumeCkpt.Method, ctl.ResumePath, resumeCkpt.Round, resumeCkpt.Rounds)
+	}
+
+	tracker := control.NewTracker(env.Local.Epochs)
+	env.Observer = tracker
+	if ctl.ControlAddr != "" {
+		srv, err := control.Serve(ctl.ControlAddr, tracker)
+		if err != nil {
+			fatalf("control plane: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("control plane on http://%s/status\n", displayAddr(srv.Addr()))
+	}
+	if ctl.CheckpointPath != "" || ctl.CheckpointEvery > 0 {
+		path := ctl.CheckpointPath
+		if path == "" {
+			fatalf("-checkpoint-every needs -checkpoint <path>")
+		}
+		env.Ckpt = &fl.CheckpointPlan{
+			Every:    ctl.CheckpointEvery,
+			Trigger:  tracker.TakeTrigger,
+			SpecHash: specHash,
+			Sink: func(c *fl.Checkpoint) {
+				if err := c.WriteFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "fedsim: checkpoint write failed: %v\n", err)
+					return
+				}
+				fmt.Printf("  checkpoint: %s after round %d/%d → %s\n", c.Method, c.Round, c.Rounds, path)
+			},
+		}
+	}
+
 	coord, err := transport.Listen(addr)
 	if err != nil {
 		fatalf("%v", err)
@@ -140,7 +216,18 @@ func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
 
 	fmt.Printf("\n%d clients × %d rounds, codec %s, deadline %v\n\n",
 		len(env.Clients), env.Rounds, codec, timeout)
-	for _, tr := range trainers {
+	for _, tr := range trainers[firstTrainer:] {
+		if env.Ckpt != nil {
+			env.Ckpt.Resume = nil
+			if resumeCkpt != nil && tr.Name() == resumeCkpt.Method {
+				env.Ckpt.Resume = resumeCkpt
+			}
+		} else if resumeCkpt != nil && tr.Name() == resumeCkpt.Method {
+			// Resuming without -checkpoint: attach a sink-less plan just
+			// to carry the resume state into the engine.
+			env.Ckpt = &fl.CheckpointPlan{Resume: resumeCkpt, SpecHash: specHash}
+			defer func() { env.Ckpt = nil }()
+		}
 		start := time.Now()
 		res := tr.Run(env)
 		fmt.Printf("%-10s acc %.2f%%  wire: %s  (%v)\n",
@@ -148,27 +235,43 @@ func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
 	}
 }
 
+// displayAddr turns a bound listen address into something dialable from
+// the local machine (":7172" → "127.0.0.1:7172").
+func displayAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	if host, port, err := net.SplitHostPort(addr); err == nil && (host == "0.0.0.0" || host == "::" || host == "") {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return addr
+}
+
 // runJoin is a node: dial, replicate the environment, serve until Bye.
-func runJoin(addr, name string) {
+// With a rejoin window, a lost coordinator (crash, restart-from-
+// checkpoint) is re-dialed until the window expires; the spec hash
+// guarantees the node only reconnects to the same run.
+func runJoin(addr, name string, rejoinSec float64) {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	conn, lo, hi, specBytes, err := transport.Join(addr, name)
+	window := time.Duration(rejoinSec * float64(time.Second))
+	err := transport.ServeLoop(addr, name, window, time.Second,
+		func(lo, hi int, specBytes []byte) (*transport.Service, error) {
+			spec, err := transport.ParseSpec(specBytes)
+			if err != nil {
+				return nil, err
+			}
+			env, err := spec.Build()
+			if err != nil {
+				return nil, fmt.Errorf("building environment replica: %w", err)
+			}
+			fmt.Printf("joined %s as %q: %d clients replicated, serving [%d,%d)\n",
+				addr, name, len(env.Clients), lo, hi)
+			return transport.NewService(env), nil
+		})
 	if err != nil {
-		fatalf("join %s: %v", addr, err)
-	}
-	spec, err := transport.ParseSpec(specBytes)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	env, err := spec.Build()
-	if err != nil {
-		fatalf("building environment replica: %v", err)
-	}
-	fmt.Printf("joined %s as %q: %d clients replicated, serving [%d,%d)\n",
-		addr, name, len(env.Clients), lo, hi)
-	if err := transport.NewService(env).ServeConn(conn); err != nil {
 		fatalf("serving: %v", err)
 	}
 	fmt.Println("coordinator said goodbye; exiting")

@@ -1,0 +1,216 @@
+// Package control is the coordinator's live control plane: a Tracker
+// that implements fl.RoundObserver to mirror a running federation's
+// progress into mutex-guarded counters, and a small HTTP server exposing
+// them — round progress, per-client outcome counts, measured vs.
+// estimated traffic, straggler histograms — plus an on-demand checkpoint
+// trigger wired into the engine's CheckpointPlan.
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fedclust/internal/fl"
+)
+
+// ClientCounts tallies one client's per-round outcomes over the run.
+type ClientCounts struct {
+	// OnTime counts rounds where the client delivered its full pass by
+	// the deadline; Partial rounds with a straggler's shortened pass;
+	// Late rounds whose update arrives lag > 0 rounds later; Offline
+	// rounds with nothing (dropout or never invited to report); Failed
+	// rounds lost to the transport (timeout, disconnect).
+	OnTime  int `json:"on_time"`
+	Partial int `json:"partial"`
+	Late    int `json:"late"`
+	Offline int `json:"offline"`
+	Failed  int `json:"failed"`
+}
+
+// Status is the /status snapshot.
+type Status struct {
+	Method      string `json:"method"`
+	Running     bool   `json:"running"`
+	Round       int    `json:"round"`       // completed rounds
+	TotalRounds int    `json:"total_rounds"`
+	StartRound  int    `json:"start_round"` // > 0: resumed from a checkpoint
+	NClients    int    `json:"n_clients"`
+	Invited     int    `json:"invited"`  // last round's invited count
+	Reported    int    `json:"reported"` // last round's on-time reports
+
+	// Traffic splits the cumulative ledger: Estimated* is the scalar-count
+	// model for in-process clients, Measured* actual framed bytes off the
+	// transport.
+	UpBytes       int64 `json:"up_bytes"`
+	DownBytes     int64 `json:"down_bytes"`
+	MeasuredUp    int64 `json:"measured_up_bytes"`
+	MeasuredDown  int64 `json:"measured_down_bytes"`
+	EstimatedUp   int64 `json:"estimated_up_bytes"`
+	EstimatedDown int64 `json:"estimated_down_bytes"`
+
+	// EvalRound/MeanAcc/MeanLoss are the latest recorded evaluation.
+	EvalRound int     `json:"eval_round"`
+	MeanAcc   float64 `json:"mean_acc"`
+	MeanLoss  float64 `json:"mean_loss"`
+
+	Checkpoints int `json:"checkpoints"` // snapshots emitted so far
+}
+
+// Stragglers is the /stragglers histogram snapshot.
+type Stragglers struct {
+	// DoneEpochs[k] counts client-rounds that completed exactly k epochs
+	// by the deadline (index 0 = dropped out).
+	DoneEpochs []int `json:"done_epochs"`
+	// Lag[k] counts client-rounds whose update arrived k rounds late
+	// (index 0 = on time; offline rounds are excluded).
+	Lag []int `json:"lag"`
+	// Offline counts client-rounds with no delivery at all.
+	Offline int `json:"offline"`
+}
+
+// Tracker mirrors a run's progress. It implements fl.RoundObserver; all
+// methods and snapshots are safe for concurrent use (the driver writes
+// between phases, HTTP handlers read whenever).
+type Tracker struct {
+	mu      sync.Mutex
+	epochs  int
+	status  Status
+	clients []ClientCounts
+	done    []int
+	lag     []int
+	offline int
+	trigger atomic.Bool
+}
+
+// NewTracker returns an empty tracker. localEpochs is the configured
+// full local pass (Env.Local.Epochs): an on-time delivery with fewer
+// completed epochs is classified as a straggler's partial pass. 0
+// disables the partial classification.
+func NewTracker(localEpochs int) *Tracker { return &Tracker{epochs: localEpochs} }
+
+// ObserveRunStart implements fl.RoundObserver.
+func (t *Tracker) ObserveRunStart(method string, totalRounds, nClients, startRound int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status = Status{
+		Method: method, Running: true,
+		Round: startRound, TotalRounds: totalRounds,
+		StartRound: startRound, NClients: nClients,
+		EvalRound: -1,
+	}
+	t.clients = make([]ClientCounts, nClients)
+	t.done, t.lag, t.offline = nil, nil, 0
+}
+
+// ObserveRoundStart implements fl.RoundObserver.
+func (t *Tracker) ObserveRoundStart(round, invited int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status.Invited = invited
+}
+
+// ObserveOutcome implements fl.RoundObserver.
+func (t *Tracker) ObserveOutcome(client, done, lag int, failed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if client < 0 || client >= len(t.clients) {
+		return
+	}
+	c := &t.clients[client]
+	switch {
+	case failed:
+		c.Failed++
+	case lag < 0 || done <= 0:
+		c.Offline++
+	case lag > 0:
+		c.Late++
+	case t.epochs > 0 && done < t.epochs:
+		c.Partial++
+	default:
+		c.OnTime++
+	}
+	if failed || lag < 0 || done <= 0 {
+		t.offline++
+	} else {
+		t.lag = grow(t.lag, lag)
+		t.lag[lag]++
+	}
+	if done < 0 {
+		done = 0
+	}
+	t.done = grow(t.done, done)
+	t.done[done]++
+}
+
+// ObserveRoundEnd implements fl.RoundObserver.
+func (t *Tracker) ObserveRoundEnd(round, reported int, comm *fl.CommStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.status
+	s.Round = round + 1
+	s.Reported = reported
+	s.UpBytes, s.DownBytes = comm.UpBytes, comm.DownBytes
+	s.MeasuredUp, s.MeasuredDown = comm.MeasuredUp, comm.MeasuredDown
+	s.EstimatedUp = comm.UpBytes - comm.MeasuredUp
+	s.EstimatedDown = comm.DownBytes - comm.MeasuredDown
+	if s.Round == s.TotalRounds {
+		s.Running = false
+	}
+}
+
+// ObserveEval implements fl.RoundObserver.
+func (t *Tracker) ObserveEval(round int, meanAcc, meanLoss float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status.EvalRound = round
+	t.status.MeanAcc, t.status.MeanLoss = meanAcc, meanLoss
+}
+
+// ObserveCheckpoint implements fl.RoundObserver.
+func (t *Tracker) ObserveCheckpoint(round int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status.Checkpoints++
+}
+
+// Status returns a copy of the current /status snapshot.
+func (t *Tracker) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Clients returns a copy of the per-client outcome counts.
+func (t *Tracker) Clients() []ClientCounts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ClientCounts(nil), t.clients...)
+}
+
+// Stragglers returns a copy of the outcome histograms.
+func (t *Tracker) Stragglers() Stragglers {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stragglers{
+		DoneEpochs: append([]int(nil), t.done...),
+		Lag:        append([]int(nil), t.lag...),
+		Offline:    t.offline,
+	}
+}
+
+// RequestCheckpoint arms the on-demand checkpoint trigger; the next
+// completed round emits a snapshot.
+func (t *Tracker) RequestCheckpoint() { t.trigger.Store(true) }
+
+// TakeTrigger consumes the armed trigger — wire it as the environment's
+// CheckpointPlan.Trigger.
+func (t *Tracker) TakeTrigger() bool { return t.trigger.Swap(false) }
+
+func grow(s []int, idx int) []int {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+var _ fl.RoundObserver = (*Tracker)(nil)

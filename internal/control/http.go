@@ -1,0 +1,65 @@
+package control
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the control plane's HTTP listener. Endpoints:
+//
+//	GET  /status      — Status snapshot (round progress, traffic, eval)
+//	GET  /clients     — per-client outcome counts
+//	GET  /stragglers  — done-epoch and lag histograms
+//	POST /checkpoint  — arm the on-demand checkpoint trigger
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and serves the tracker's
+// state until Close.
+func Serve(addr string, t *Tracker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Status())
+	})
+	mux.HandleFunc("/clients", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Clients())
+	})
+	mux.HandleFunc("/stragglers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Stragglers())
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		t.RequestCheckpoint()
+		writeJSON(w, map[string]bool{"armed": true})
+	})
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client hangup mid-write
+}

@@ -156,6 +156,16 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 	}
 	res := d.Res
 
+	// A pending checkpoint for this method resumes past the one-shot
+	// phase: the assignment and cluster models come back from the
+	// checkpoint, and the warmup traffic plus formation bookkeeping (and
+	// the round-0 comm snapshot) live in its restored Result. The
+	// diagnostic ClusterState (features, centroids, dendrogram) is not
+	// persisted — f.State stays nil on a resumed run (see DESIGN.md §9).
+	if labels, k, models, ok := d.ResumeClustered(); ok {
+		return d.RunClusteredFedAvg(labels, k, models)
+	}
+
 	// --- Steps ①–②: broadcast w₀; local warmup; upload partial weights.
 	init := d.InitParams()
 	features, initLayer, downB, upB := collectPartialWeights(env, cfg, init, d.Pool().Get)

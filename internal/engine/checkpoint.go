@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+
+	"fedclust/internal/fl"
+)
+
+// Clustered-schedule checkpoint section names (RunClusteredFedAvg owns
+// these; PACFL and FedClust read them back through ResumeClustered).
+const (
+	secClusteredLabels = "clustered/labels"
+	secClusteredModels = "clustered/models"
+	secClusteredMeta   = "clustered/meta"
+)
+
+// resume validates the checkpoint against this run and restores the
+// accumulated Result and the method's server state. It returns the round
+// index the loop continues from. Mismatches panic: cmd-level callers are
+// expected to pre-validate with Checkpoint.Matches for a clean error, so
+// reaching a mismatch here is a wiring bug, and silently training a
+// different run would be worse than dying.
+func (d *RoundDriver) resume(c *fl.Checkpoint) int {
+	if err := c.Matches(d.Env, d.Res.Method, d.NumParams); err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	if d.Hooks.LoadState == nil {
+		panic(fmt.Sprintf("engine: %s cannot resume: method has no LoadState hook", d.Res.Method))
+	}
+	if err := c.RestoreResult(d.Res); err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	if err := d.Hooks.LoadState(c); err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	return c.Round
+}
+
+// maybeCheckpoint emits a snapshot after a completed round when the
+// environment's plan says so — every plan.Every rounds, or on a pulled
+// trigger. The emitted checkpoint is self-contained (all state copied),
+// so the sink may hold it while training keeps mutating the live buffers.
+func (d *RoundDriver) maybeCheckpoint(round int) {
+	plan := d.Env.Ckpt
+	if plan == nil || plan.Sink == nil {
+		return
+	}
+	due := plan.Every > 0 && (round+1)%plan.Every == 0
+	if !due && plan.Trigger != nil && plan.Trigger() {
+		due = true
+	}
+	if !due {
+		return
+	}
+	if d.Hooks.SaveState == nil {
+		panic(fmt.Sprintf("engine: %s checkpoint requested but method has no SaveState hook", d.Res.Method))
+	}
+	c := fl.NewCheckpoint(d.Env, d.Res.Method, round+1, d.NumParams, plan.SpecHash)
+	c.CaptureResult(d.Res)
+	d.Hooks.SaveState(c)
+	plan.Sink(c)
+	if obs := d.Env.Observer; obs != nil {
+		obs.ObserveCheckpoint(round + 1)
+	}
+}
+
+// ResumeClustered reads a clustered-FedAvg schedule's state (written by
+// the SaveState hook RunClusteredFedAvg installs) from the environment's
+// pending resume checkpoint. ok is false when there is nothing to resume
+// for this method — the caller then runs its one-shot clustering phase as
+// usual. On ok, the caller skips that phase entirely (its traffic and
+// formation bookkeeping live in the restored Result) and passes the
+// returned assignment and models straight to RunClusteredFedAvg.
+func (d *RoundDriver) ResumeClustered() (labels []int, k int, models [][]float64, ok bool) {
+	plan := d.Env.Ckpt
+	if plan == nil || plan.Resume == nil || plan.Resume.Method != d.Res.Method {
+		return nil, 0, nil, false
+	}
+	c := plan.Resume
+	meta, err := c.Ints(secClusteredMeta, 1)
+	if err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	k = int(meta[0])
+	if k < 1 || k > len(d.Env.Clients) {
+		panic(fmt.Sprintf("engine: resume: checkpoint cluster count %d out of range", k))
+	}
+	labels, err = c.IntSlice(secClusteredLabels, len(d.Env.Clients))
+	if err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	for i, l := range labels {
+		if l < 0 || l >= k {
+			panic(fmt.Sprintf("engine: resume: client %d labeled %d outside [0,%d)", i, l, k))
+		}
+	}
+	flat, err := c.Vec(secClusteredModels, k*d.NumParams)
+	if err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	models = make([][]float64, k)
+	for i := range models {
+		models[i] = append([]float64(nil), flat[i*d.NumParams:(i+1)*d.NumParams]...)
+	}
+	return labels, k, models, true
+}
+
+// bindClusteredCheckpoint installs the Save/Load hooks for the fixed
+// assignment + per-cluster models schedule. LoadState only revalidates:
+// ResumeClustered already delivered the restored state to the caller,
+// which passed it into RunClusteredFedAvg.
+func (d *RoundDriver) bindClusteredCheckpoint(labels []int, k int, models [][]float64) {
+	d.Hooks.SaveState = func(c *fl.Checkpoint) {
+		c.SetIntSlice(secClusteredLabels, labels)
+		flat := make([]float64, 0, k*d.NumParams)
+		for _, m := range models {
+			flat = append(flat, m...)
+		}
+		c.SetVec(secClusteredModels, flat)
+		c.SetInts(secClusteredMeta, []int64{int64(k)})
+	}
+	d.Hooks.LoadState = func(c *fl.Checkpoint) error {
+		if _, err := c.Ints(secClusteredMeta, 1); err != nil {
+			return err
+		}
+		if _, err := c.IntSlice(secClusteredLabels, len(labels)); err != nil {
+			return err
+		}
+		_, err := c.Vec(secClusteredModels, k*d.NumParams)
+		return err
+	}
+}

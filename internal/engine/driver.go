@@ -129,6 +129,14 @@ type Hooks struct {
 	// (RunClusteredFedAvg wires it) — metadata forwarded to remote
 	// executors. Must be pure and safe for concurrent calls.
 	ClusterOf func(client int) int
+	// SaveState writes the method's cross-round server state (models,
+	// caches, assignments, counters) into a checkpoint. Required when the
+	// environment carries a CheckpointPlan; runs serially after a round.
+	SaveState func(c *fl.Checkpoint)
+	// LoadState restores what SaveState wrote. It must leave the method
+	// in exactly the state an uninterrupted run would hold at the
+	// checkpoint's round, or return an error to abort the resume.
+	LoadState func(c *fl.Checkpoint) error
 }
 
 // RoundDriver runs the shared sample → broadcast → local-train →
@@ -371,8 +379,16 @@ func (d *RoundDriver) Run() *fl.Result {
 	if d.Hooks.Broadcast == nil && d.Hooks.Local == nil {
 		panic(fmt.Sprintf("engine: %s has neither Broadcast nor Local hook", d.Res.Method))
 	}
-	for round := 0; round < d.Env.Rounds; round++ {
+	start := 0
+	if plan := d.Env.Ckpt; plan != nil && plan.Resume != nil {
+		start = d.resume(plan.Resume)
+	}
+	if obs := d.Env.Observer; obs != nil {
+		obs.ObserveRunStart(d.Res.Method, d.Env.Rounds, len(d.Env.Clients), start)
+	}
+	for round := start; round < d.Env.Rounds; round++ {
 		d.RunRound(round)
+		d.maybeCheckpoint(round)
 	}
 	return d.Res
 }
@@ -383,7 +399,11 @@ func (d *RoundDriver) Run() *fl.Result {
 func (d *RoundDriver) RunRound(round int) {
 	env := d.Env
 	es := d.es
+	obs := env.Observer
 	invited, reported := d.sample(round)
+	if obs != nil {
+		obs.ObserveRoundStart(round, len(invited))
+	}
 	// Reset the per-round failure state — visits the scenario skips must
 	// not leave stale failures behind.
 	for i := range es.failMask {
@@ -413,6 +433,12 @@ func (d *RoundDriver) RunRound(round int) {
 		reported = d.dropFailed(reported)
 		d.Res.Comm.Upload(len(reported), d.uplink(round))
 	}
+	if obs != nil {
+		for _, c := range invited {
+			done, lag := d.ScenarioOutcome(c)
+			obs.ObserveOutcome(c, done, lag, es.failMask[c])
+		}
+	}
 	// A scenario round where every device missed the deadline is wasted:
 	// there is nothing for a synchronous method to fold. Methods whose
 	// server state progresses anyway (late arrivals due, cached updates
@@ -425,6 +451,9 @@ func (d *RoundDriver) RunRound(round int) {
 	}
 	es.curInvited = nil
 	d.Res.Comm.EndRound(round + 1)
+	if obs != nil {
+		obs.ObserveRoundEnd(round, len(reported), &d.Res.Comm)
+	}
 
 	if env.ShouldEval(round) {
 		per, acc, loss := d.evaluateServed()
@@ -433,6 +462,9 @@ func (d *RoundDriver) RunRound(round int) {
 		// Result owns its own copy (reused across this run's evals).
 		d.Res.PerClientAcc = append(d.Res.PerClientAcc[:0], per...)
 		d.Res.FinalAcc, d.Res.FinalLoss = acc, loss
+		if obs != nil {
+			obs.ObserveEval(round+1, acc, loss)
+		}
 	}
 }
 
@@ -461,6 +493,7 @@ func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64
 		}
 	}
 	d.Hooks.Served = func(i int) []float64 { return models[labels[i]] }
+	d.bindClusteredCheckpoint(labels, k, models)
 	return d.Run()
 }
 

@@ -1,0 +1,188 @@
+package engine_test
+
+// Resume-equivalence suite: a run restored from a checkpoint must be
+// indistinguishable — bit for bit, in every field the experiments read —
+// from one that never stopped. The matrix covers all eight methods
+// (pinned against the PR 1 golden fingerprints for the synchronous six,
+// self-baselined for the semi-async pair under a hostile scenario),
+// checkpoint rounds early/mid/last, and executor parallelism on both
+// sides of the interruption (checkpoint under one worker count, resume
+// under another). Every resume passes through Encode → DecodeCheckpoint,
+// so the serialized bytes — not the in-memory snapshot — carry the run.
+
+import (
+	"testing"
+
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/scenario"
+)
+
+// captureRun executes the trainer with a checkpoint after every round,
+// returning the result fingerprint and the encoded snapshot bytes keyed
+// by completed-round count (1..Rounds).
+func captureRun(t *testing.T, trainer fl.Trainer, env *fl.Env) (string, map[int][]byte) {
+	t.Helper()
+	snaps := make(map[int][]byte)
+	env.Ckpt = &fl.CheckpointPlan{
+		Every: 1,
+		Sink:  func(c *fl.Checkpoint) { snaps[c.Round] = c.Encode() },
+	}
+	fp := fingerprint(trainer.Run(env))
+	if len(snaps) != env.Rounds {
+		t.Fatalf("expected %d snapshots, got %d", env.Rounds, len(snaps))
+	}
+	return fp, snaps
+}
+
+// resumeRun decodes the snapshot and finishes the schedule from it.
+func resumeRun(t *testing.T, trainer fl.Trainer, env *fl.Env, snap []byte) string {
+	t.Helper()
+	ck, err := fl.DecodeCheckpoint(snap)
+	if err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	env.Ckpt = &fl.CheckpointPlan{Resume: ck}
+	return fingerprint(trainer.Run(env))
+}
+
+// TestResumeReproducesGoldenFingerprints: for every golden case, a run
+// interrupted after round 1, mid-schedule, and after the final round
+// resumes to exactly the PR 1 pinned fingerprint. The final-round resume
+// executes zero rounds — the restored Result alone must carry the full
+// answer.
+func TestResumeReproducesGoldenFingerprints(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			env := goldenEnv(77, 6, c.part)
+			got, snaps := captureRun(t, c.trainer(), env)
+			if got != c.want {
+				t.Fatalf("checkpointing perturbed the uninterrupted run\n got: %s\nwant: %s", got, c.want)
+			}
+			for _, round := range []int{1, 3, 6} {
+				env := goldenEnv(77, 6, c.part)
+				if got := resumeRun(t, c.trainer(), env, snaps[round]); got != c.want {
+					t.Errorf("resume from round %d diverged\n got: %s\nwant: %s", round, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeSemiAsync extends the matrix to the staleness-aware methods
+// under a hostile scenario (stragglers, dropouts, jitter): the late-
+// delivery caches, pending buffers, and arrival schedules must all ride
+// the checkpoint.
+func TestResumeSemiAsync(t *testing.T) {
+	for _, tr := range []fl.Trainer{methods.FedAvgStale{}, methods.FedBuff{}} {
+		tr := tr
+		t.Run(tr.Name(), func(t *testing.T) {
+			t.Parallel()
+			mkEnv := func() *fl.Env {
+				env := goldenEnv(34, 6, fl.Participation{})
+				env.EvalEvery = 2
+				env.Participation.Scenario = scenario.New(scenario.Config{
+					StragglerFrac: 0.3, SlowdownMax: 4, DropoutRate: 0.15,
+					Deadline: 0.75, Jitter: 0.2,
+				}, 34, len(env.Clients))
+				return env
+			}
+			want, snaps := captureRun(t, tr, mkEnv())
+			for _, round := range []int{1, 3, 6} {
+				if got := resumeRun(t, tr, mkEnv(), snaps[round]); got != want {
+					t.Errorf("resume from round %d diverged\n got: %s\nwant: %s", round, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeAcrossWorkerCounts: checkpoint under a serial executor,
+// resume under a wide one (and the reverse) — parallelism is not part of
+// a run's identity, so the fingerprints must match the pinned golden.
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	golden := goldenCases[len(goldenCases)-1] // FedClust: deepest state surface
+	for _, wc := range []struct{ capture, resume int }{{1, 8}, {8, 1}} {
+		env := goldenEnv(77, 6, golden.part)
+		env.Workers = wc.capture
+		got, snaps := captureRun(t, golden.trainer(), env)
+		if got != golden.want {
+			t.Fatalf("workers=%d capture run drifted\n got: %s\nwant: %s", wc.capture, got, golden.want)
+		}
+		env = goldenEnv(77, 6, golden.part)
+		env.Workers = wc.resume
+		if got := resumeRun(t, golden.trainer(), env, snaps[3]); got != golden.want {
+			t.Errorf("checkpoint at workers=%d, resume at workers=%d diverged\n got: %s\nwant: %s",
+				wc.capture, wc.resume, got, golden.want)
+		}
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: the engine refuses (panics — the
+// cmd layer pre-validates with Matches for a clean exit) to continue a
+// checkpoint from a different run.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	env := goldenEnv(77, 6, fl.Participation{})
+	_, snaps := captureRun(t, methods.FedAvg{}, env)
+	ck, err := fl.DecodeCheckpoint(snaps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = goldenEnv(78, 6, fl.Participation{}) // different seed
+	env.Ckpt = &fl.CheckpointPlan{Resume: ck}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resuming under a different seed did not panic")
+		}
+	}()
+	methods.FedAvg{}.Run(env)
+}
+
+// TestCheckpointTrigger: the on-demand trigger emits exactly one
+// snapshot for the round it is armed in, independent of Every.
+func TestCheckpointTrigger(t *testing.T) {
+	env := goldenEnv(77, 6, fl.Participation{})
+	var rounds []int
+	armed := true
+	env.Ckpt = &fl.CheckpointPlan{
+		Trigger: func() bool {
+			was := armed
+			armed = false
+			return was
+		},
+		Sink: func(c *fl.Checkpoint) { rounds = append(rounds, c.Round) },
+	}
+	methods.FedAvg{}.Run(env)
+	if len(rounds) != 1 || rounds[0] != 1 {
+		t.Fatalf("trigger emitted snapshots after rounds %v, want [1]", rounds)
+	}
+}
+
+// TestResumeFedClustLeavesStateNil documents the FedClust caveat: a
+// resumed run reconstructs the clustered schedule from the checkpoint,
+// not the one-shot analysis, so the diagnostic State stays nil (see
+// DESIGN.md §9) while the training result is still bit-exact.
+func TestResumeFedClustLeavesStateNil(t *testing.T) {
+	env := goldenEnv(77, 6, fl.Participation{})
+	fresh := &core.FedClust{}
+	want, snaps := captureRun(t, fresh, env)
+	if fresh.State == nil {
+		t.Fatal("uninterrupted run should populate State")
+	}
+	ck, err := fl.DecodeCheckpoint(snaps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = goldenEnv(77, 6, fl.Participation{})
+	env.Ckpt = &fl.CheckpointPlan{Resume: ck}
+	resumed := &core.FedClust{}
+	if got := fingerprint(resumed.Run(env)); got != want {
+		t.Fatalf("resumed FedClust diverged\n got: %s\nwant: %s", got, want)
+	}
+	if resumed.State != nil {
+		t.Error("resumed run unexpectedly reconstructed the one-shot clustering State")
+	}
+}

@@ -14,6 +14,12 @@ type CommStats struct {
 	DownBytes int64
 	// PerRound records (up, down) per completed round for plots.
 	PerRound []RoundComm
+	// MeasuredUp/MeasuredDown are the subset of the totals that came from
+	// actual framed transport traffic (UploadBytes/DownloadBytes) rather
+	// than scalar-count estimates — the control plane reports both so a
+	// networked run can show measured vs. estimated volume side by side.
+	MeasuredUp   int64
+	MeasuredDown int64
 	// snapUp/snapDown are the totals already snapshotted into PerRound,
 	// so EndRound is O(1) instead of re-summing the whole history each
 	// round.
@@ -40,10 +46,10 @@ func (c *CommStats) Download(nClients, nParams int) {
 // UploadBytes records b measured client→server bytes — actual framed
 // traffic reported by an attached transport. The scalar-count estimates
 // above remain the accounting for purely in-process clients.
-func (c *CommStats) UploadBytes(b int64) { c.UpBytes += b }
+func (c *CommStats) UploadBytes(b int64) { c.UpBytes += b; c.MeasuredUp += b }
 
 // DownloadBytes records b measured server→client bytes.
-func (c *CommStats) DownloadBytes(b int64) { c.DownBytes += b }
+func (c *CommStats) DownloadBytes(b int64) { c.DownBytes += b; c.MeasuredDown += b }
 
 // EndRound snapshots the traffic delta since the previous EndRound call.
 func (c *CommStats) EndRound(round int) {

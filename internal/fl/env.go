@@ -45,6 +45,13 @@ type Env struct {
 	// failures onto the round's reported set. nil keeps every client
 	// in-process.
 	Remote RemoteTrainer
+	// Ckpt, when non-nil, attaches checkpointing: the round engine emits
+	// snapshots per its schedule/trigger and resumes from Ckpt.Resume.
+	// nil disables the machinery entirely.
+	Ckpt *CheckpointPlan
+	// Observer, when non-nil, receives live round progress (the control
+	// plane's feed). nil costs nothing.
+	Observer RoundObserver
 
 	// shared is the lazily created per-Env scratch holder (see
 	// EnvShared); behind a pointer so Env stays copyable.

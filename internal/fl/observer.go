@@ -1,0 +1,29 @@
+package fl
+
+// RoundObserver receives live progress from a running round driver — the
+// feed behind the coordinator's control plane. Implementations must be
+// cheap and non-blocking: calls happen on the driver goroutine between
+// phases, never concurrently with each other. A nil Env.Observer costs
+// nothing (every call site is nil-guarded), and observers must not mutate
+// anything they are handed.
+type RoundObserver interface {
+	// ObserveRunStart fires once per Trainer.Run, before the first round.
+	// startRound > 0 means the run resumed from a checkpoint.
+	ObserveRunStart(method string, totalRounds, nClients, startRound int)
+	// ObserveRoundStart fires after participation sampling, with the
+	// number of clients invited this round.
+	ObserveRoundStart(round, invited int)
+	// ObserveOutcome fires once per invited client after local passes
+	// complete: done is the epoch count actually executed (0 = dropped
+	// out), lag the staleness in rounds, failed whether the transport
+	// layer lost the update.
+	ObserveOutcome(client, done, lag int, failed bool)
+	// ObserveRoundEnd fires after aggregation with the number of updates
+	// that reached the server and the cumulative traffic ledger.
+	ObserveRoundEnd(round, reported int, comm *CommStats)
+	// ObserveEval fires when a round records evaluation metrics.
+	ObserveEval(round int, meanAcc, meanLoss float64)
+	// ObserveCheckpoint fires after a checkpoint is handed to the sink;
+	// round is the completed-round count the checkpoint resumes at.
+	ObserveCheckpoint(round int)
+}

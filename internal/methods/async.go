@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"fmt"
 	"math"
 
 	"fedclust/internal/engine"
@@ -113,6 +114,38 @@ func (s FedAvgStale) Run(env *fl.Env) *fl.Result {
 		}
 	}
 	d.Hooks.Served = func(int) []float64 { return global }
+	// Checkpoint state: the global model plus the whole staleness cache —
+	// every client's last update, when it reported, and the weight it
+	// carried. sum is per-Aggregate scratch, not state.
+	d.Hooks.SaveState = func(ck *fl.Checkpoint) {
+		ck.SetVec(secGlobal, global)
+		ck.SetVec("stale/cache", arena)
+		ck.SetIntSlice("stale/cached_at", cachedAt)
+		ck.SetVec("stale/cache_w", cacheW)
+	}
+	d.Hooks.LoadState = func(ck *fl.Checkpoint) error {
+		g, err := ck.Vec(secGlobal, d.NumParams)
+		if err != nil {
+			return err
+		}
+		ca, err := ck.Vec("stale/cache", n*d.NumParams)
+		if err != nil {
+			return err
+		}
+		at, err := ck.IntSlice("stale/cached_at", n)
+		if err != nil {
+			return err
+		}
+		cw, err := ck.Vec("stale/cache_w", n)
+		if err != nil {
+			return err
+		}
+		copy(global, g)
+		copy(arena, ca)
+		copy(cachedAt, at)
+		copy(cacheW, cw)
+		return nil
+	}
 	return d.Run()
 }
 
@@ -298,5 +331,80 @@ func (f FedBuff) Run(env *fl.Env) *fl.Result {
 		}
 	}
 	d.Hooks.Served = func(int) []float64 { return global }
+	// Checkpoint state: the global model, every in-flight pass (delta
+	// arena + arrival/training rounds + busy flags), and the undersized
+	// buffer awaiting its Goal-th entry. base is rebuilt by the next
+	// round's Broadcast and sum is scratch, so neither is state.
+	d.Hooks.SaveState = func(ck *fl.Checkpoint) {
+		ck.SetVec(secGlobal, global)
+		ck.SetVec("fedbuff/deltas", pendArena)
+		arrives := make([]int64, n)
+		trained := make([]int64, n)
+		busyW := make([]int64, n)
+		for i := 0; i < n; i++ {
+			arrives[i] = int64(pending[i].arrives)
+			trained[i] = int64(pending[i].trained)
+			if busy[i] {
+				busyW[i] = 1
+			}
+		}
+		ck.SetInts("fedbuff/arrives", arrives)
+		ck.SetInts("fedbuff/trained", trained)
+		ck.SetInts("fedbuff/busy", busyW)
+		bufClient := make([]int64, len(buffer))
+		bufStale := make([]int64, len(buffer))
+		for i, b := range buffer {
+			bufClient[i], bufStale[i] = int64(b.client), int64(b.staleness)
+		}
+		ck.SetInts("fedbuff/buf_client", bufClient)
+		ck.SetInts("fedbuff/buf_stale", bufStale)
+	}
+	d.Hooks.LoadState = func(ck *fl.Checkpoint) error {
+		g, err := ck.Vec(secGlobal, d.NumParams)
+		if err != nil {
+			return err
+		}
+		deltas, err := ck.Vec("fedbuff/deltas", n*d.NumParams)
+		if err != nil {
+			return err
+		}
+		arrives, err := ck.Ints("fedbuff/arrives", n)
+		if err != nil {
+			return err
+		}
+		trained, err := ck.Ints("fedbuff/trained", n)
+		if err != nil {
+			return err
+		}
+		busyW, err := ck.Ints("fedbuff/busy", n)
+		if err != nil {
+			return err
+		}
+		bufClient, err := ck.Ints("fedbuff/buf_client", -1)
+		if err != nil {
+			return err
+		}
+		bufStale, err := ck.Ints("fedbuff/buf_stale", len(bufClient))
+		if err != nil {
+			return err
+		}
+		for _, c := range bufClient {
+			if c < 0 || int(c) >= n {
+				return fmt.Errorf("fedbuff: checkpoint buffers unknown client %d", c)
+			}
+		}
+		copy(global, g)
+		copy(pendArena, deltas)
+		for i := 0; i < n; i++ {
+			pending[i].arrives = int(arrives[i])
+			pending[i].trained = int(trained[i])
+			busy[i] = busyW[i] != 0
+		}
+		buffer = buffer[:0]
+		for i := range bufClient {
+			buffer = append(buffer, buffered{client: int(bufClient[i]), staleness: int(bufStale[i])})
+		}
+		return nil
+	}
 	return d.Run()
 }

@@ -1,6 +1,8 @@
 package methods
 
 import (
+	"fmt"
+
 	"fedclust/internal/cluster"
 	"fedclust/internal/engine"
 	"fedclust/internal/fl"
@@ -161,6 +163,62 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 		}
 	}
 	d.Hooks.Served = func(i int) []float64 { return models[assign[i]] }
+	// Checkpoint state: the assignment, every live cluster model (in
+	// ascending-id order so the layout is deterministic), and the split
+	// machinery's reference scale. The deltas arena is per-round scratch —
+	// fully rewritten before Aggregate reads it — so it is not state.
+	d.Hooks.SaveState = func(ck *fl.Checkpoint) {
+		ids := clusterIDs(assign)
+		ck.SetIntSlice("cfl/ids", ids)
+		ck.SetIntSlice("cfl/assign", assign)
+		flat := make([]float64, 0, len(ids)*d.NumParams)
+		for _, id := range ids {
+			flat = append(flat, models[id]...)
+		}
+		ck.SetVec("cfl/models", flat)
+		ck.SetInts("cfl/meta", []int64{int64(lastChange), int64(refRound)})
+		ck.SetVec("cfl/ref", []float64{refNorm})
+	}
+	d.Hooks.LoadState = func(ck *fl.Checkpoint) error {
+		ids, err := ck.IntSlice("cfl/ids", -1)
+		if err != nil {
+			return err
+		}
+		asg, err := ck.IntSlice("cfl/assign", n)
+		if err != nil {
+			return err
+		}
+		flat, err := ck.Vec("cfl/models", len(ids)*d.NumParams)
+		if err != nil {
+			return err
+		}
+		meta, err := ck.Ints("cfl/meta", 2)
+		if err != nil {
+			return err
+		}
+		ref, err := ck.Vec("cfl/ref", 1)
+		if err != nil {
+			return err
+		}
+		live := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			live[id] = true
+		}
+		for _, a := range asg {
+			if !live[a] {
+				return fmt.Errorf("cfl: checkpoint assigns a client to unknown cluster %d", a)
+			}
+		}
+		copy(assign, asg)
+		for id := range models {
+			delete(models, id)
+		}
+		for j, id := range ids {
+			models[id] = append([]float64(nil), flat[j*d.NumParams:(j+1)*d.NumParams]...)
+		}
+		lastChange, refRound, refNorm = int(meta[0]), int(meta[1]), ref[0]
+		return nil
+	}
 
 	res := d.Run()
 	res.Clusters = canonicalLabels(assign)

@@ -12,23 +12,19 @@ import (
 	"fedclust/internal/fl"
 )
 
-// FedAvg is the classic single-global-model algorithm: every round all
-// clients train locally from the global weights and the server takes the
-// sample-weighted average.
-type FedAvg struct{}
+// secGlobal is the checkpoint section holding a single-global-model
+// method's server state.
+const secGlobal = "global"
 
-// Name implements fl.Trainer.
-func (FedAvg) Name() string { return "FedAvg" }
-
-// Run implements fl.Trainer. It honors the environment's Participation
-// settings: each round a (possibly partial) client set is invited, some
-// invited clients may fail to report, and the server averages whoever
-// reported (McMahan et al.'s original protocol).
-func (FedAvg) Run(env *fl.Env) *fl.Result {
-	d := engine.New(env, "FedAvg")
+// runGlobalModel is the shared single-global-model loop behind FedAvg and
+// FedProx: broadcast the global weights, average whoever reported, serve
+// the global model to everyone — with the global vector as the only
+// cross-round server state, checkpointed under one section.
+func runGlobalModel(env *fl.Env, name string) *fl.Result {
+	d := engine.New(env, name)
 	d.Res.ClusterFormationRound = -1
 	// Both buffers are per-environment scratch recycled across runs, so
-	// a warm FedAvg run allocates no server-side state.
+	// a warm run allocates no server-side state.
 	global := d.InitGlobal()
 	starts := d.StartsBuf()
 
@@ -46,7 +42,32 @@ func (FedAvg) Run(env *fl.Env) *fl.Result {
 		fl.WeightedAverageInto(global, vecs, ws)
 	}
 	d.Hooks.Served = func(int) []float64 { return global }
+	d.Hooks.SaveState = func(c *fl.Checkpoint) { c.SetVec(secGlobal, global) }
+	d.Hooks.LoadState = func(c *fl.Checkpoint) error {
+		v, err := c.Vec(secGlobal, d.NumParams)
+		if err != nil {
+			return err
+		}
+		copy(global, v)
+		return nil
+	}
 	return d.Run()
+}
+
+// FedAvg is the classic single-global-model algorithm: every round all
+// clients train locally from the global weights and the server takes the
+// sample-weighted average.
+type FedAvg struct{}
+
+// Name implements fl.Trainer.
+func (FedAvg) Name() string { return "FedAvg" }
+
+// Run implements fl.Trainer. It honors the environment's Participation
+// settings: each round a (possibly partial) client set is invited, some
+// invited clients may fail to report, and the server averages whoever
+// reported (McMahan et al.'s original protocol).
+func (FedAvg) Run(env *fl.Env) *fl.Result {
+	return runGlobalModel(env, "FedAvg")
 }
 
 // FedProx is FedAvg with a proximal term μ/2·‖w − w_global‖² added to each
@@ -63,14 +84,13 @@ func (p FedProx) Name() string { return "FedProx" }
 // Run implements fl.Trainer.
 func (p FedProx) Run(env *fl.Env) *fl.Result {
 	// FedProx is FedAvg with the proximal term switched on in the local
-	// config; reuse the FedAvg loop with an adjusted environment. Create
+	// config; reuse the shared loop with an adjusted environment. Create
 	// the shared scratch holder before copying so the copy shares it —
 	// otherwise the cached engine runtime would land on the throwaway
-	// copy and be rebuilt every run.
+	// copy and be rebuilt every run. Running under the method's own name
+	// (instead of renaming afterward) also stamps checkpoints correctly.
 	env.Shared()
 	proxEnv := *env
 	proxEnv.Local.ProxMu = p.Mu
-	res := FedAvg{}.Run(&proxEnv)
-	res.Method = "FedProx"
-	return res
+	return runGlobalModel(&proxEnv, "FedProx")
 }

@@ -62,6 +62,14 @@ func (p PACFL) Run(env *fl.Env) *fl.Result {
 	p = p.defaults(n)
 	res := d.Res
 
+	// A pending checkpoint for this method already paid for the one-shot
+	// clustering: the assignment and per-cluster models come back from the
+	// checkpoint, and the sketch-upload traffic plus formation bookkeeping
+	// live in its restored Result. Skip straight to the round schedule.
+	if labels, k, models, ok := d.ResumeClustered(); ok {
+		return d.RunClusteredFedAvg(labels, k, models)
+	}
+
 	// --- One-shot clustering phase (before any training round). ---
 	bases := make([]*tensor.Tensor, n)
 	env.ParallelClients(n, func(i int) {

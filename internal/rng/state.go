@@ -1,0 +1,46 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a serializable snapshot of a generator's position: the four
+// xoshiro256** state words plus the Box-Muller spare (flag word, then the
+// spare deviate's bits). Capturing and restoring it resumes a stream at
+// exactly the draw it would have produced next, which is what lets a
+// checkpointed run replay as if it was never interrupted.
+type State [6]uint64
+
+// State returns r's current position.
+func (r *Rng) State() State {
+	var st State
+	copy(st[:4], r.s[:])
+	if r.hasSpare {
+		st[4] = 1
+	}
+	st[5] = math.Float64bits(r.spare)
+	return st
+}
+
+// Restore sets r to exactly the captured position: the next draws equal
+// what the captured generator would have produced. It rejects states no
+// generator can be in (all-zero core, a non-boolean spare flag, a
+// non-finite spare deviate) so positions read off a wire or a checkpoint
+// file are validated rather than trusted.
+func (r *Rng) Restore(st State) error {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		return fmt.Errorf("rng: all-zero generator state")
+	}
+	if st[4] > 1 {
+		return fmt.Errorf("rng: spare flag word %d is not boolean", st[4])
+	}
+	spare := math.Float64frombits(st[5])
+	if st[4] == 1 && (math.IsNaN(spare) || math.IsInf(spare, 0)) {
+		return fmt.Errorf("rng: non-finite cached spare deviate")
+	}
+	copy(r.s[:], st[:4])
+	r.hasSpare = st[4] == 1
+	r.spare = spare
+	return nil
+}

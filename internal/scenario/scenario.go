@@ -190,3 +190,26 @@ func (m *Model) Outcome(client, round, epochs int) (done, lag int) {
 	}
 	return done, lag
 }
+
+// Fingerprint identifies the model for checkpoint/resume validation: two
+// models produce identical traces iff they were built from the same
+// (Config, seed, n), so hashing that identity pins the whole trace. A
+// resumed run whose scenario fingerprint differs from the checkpoint's
+// would silently replay under different failures, so fl refuses it.
+func (m *Model) Fingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV-1a 64 offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(m.seed)
+	mix(uint64(len(m.profiles)))
+	mix(math.Float64bits(m.cfg.StragglerFrac))
+	mix(math.Float64bits(m.cfg.SlowdownMax))
+	mix(math.Float64bits(m.cfg.DropoutRate))
+	mix(math.Float64bits(m.cfg.Deadline))
+	mix(math.Float64bits(m.cfg.Jitter))
+	return h
+}

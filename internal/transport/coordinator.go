@@ -136,27 +136,35 @@ func Join(addr, name string) (conn net.Conn, lo, hi int, spec []byte, err error)
 	if err != nil {
 		return nil, 0, 0, nil, err
 	}
-	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	hello := endFrame(appendHello(beginFrame(nil, MsgHello), name), 0)
-	if _, err = conn.Write(hello); err != nil {
+	if lo, hi, spec, err = joinHandshake(conn, name); err != nil {
 		conn.Close()
 		return nil, 0, 0, nil, err
+	}
+	return conn, lo, hi, spec, nil
+}
+
+// joinHandshake runs the node side of the hello/welcome exchange. The
+// handshake deadline is defer-paired with its clear, mirroring
+// handshakeAccept: no exit path — early error returns included — can
+// leave a stale deadline armed on a connection the caller keeps using.
+func joinHandshake(conn net.Conn, name string) (lo, hi int, spec []byte, err error) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	hello := endFrame(appendHello(beginFrame(nil, MsgHello), name), 0)
+	if _, err = conn.Write(hello); err != nil {
+		return 0, 0, nil, err
 	}
 	fr := &frameReader{r: conn, limit: maxWelcomeFrame}
 	t, body, _, err := fr.next()
 	if err != nil {
-		conn.Close()
-		return nil, 0, 0, nil, err
+		return 0, 0, nil, err
 	}
 	if t != MsgWelcome {
-		conn.Close()
-		return nil, 0, 0, nil, fmt.Errorf("transport: expected welcome, got %s", t)
+		return 0, 0, nil, fmt.Errorf("transport: expected welcome, got %s", t)
 	}
 	var sp []byte
 	if lo, hi, sp, err = parseWelcome(body); err != nil {
-		conn.Close()
-		return nil, 0, 0, nil, err
+		return 0, 0, nil, err
 	}
-	conn.SetDeadline(time.Time{})
-	return conn, lo, hi, append([]byte(nil), sp...), nil
+	return lo, hi, append([]byte(nil), sp...), nil
 }

@@ -136,11 +136,22 @@ func (s *Service) run(sl *slot, req *fl.RemoteRequest, out []float64) error {
 
 // ServeConn runs the node side of the protocol on an established
 // connection until the coordinator says Bye, the peer disconnects, or
-// the stream turns invalid. Requests are dispatched concurrently (slot
+// the stream turns invalid. Callers that need to distinguish an orderly
+// Bye from a disconnect (the rejoin path) use Serve instead.
+func (s *Service) ServeConn(conn net.Conn) error {
+	_, err := s.Serve(conn)
+	return err
+}
+
+// Serve is ServeConn reporting how the session ended: bye is true only
+// when the coordinator sent an explicit Bye — the run is over and there
+// is nothing to rejoin. A clean disconnect without a Bye (bye false, err
+// nil) is what a crashed or restarting coordinator looks like from here;
+// ServeLoop re-dials on it. Requests are dispatched concurrently (slot
 // checkout bounds the parallelism; heavy tensor kernels inside training
 // still share the process-wide internal/sched executor); responses are
 // written as each finishes. In-flight work drains before return.
-func (s *Service) ServeConn(conn net.Conn) error {
+func (s *Service) Serve(conn net.Conn) (bye bool, err error) {
 	defer conn.Close()
 	var wmu sync.Mutex
 	var wg sync.WaitGroup
@@ -152,17 +163,17 @@ func (s *Service) ServeConn(conn net.Conn) error {
 		t, body, _, err := fr.next()
 		if err != nil {
 			if err == io.EOF {
-				return nil // peer hung up between frames: orderly enough
+				return false, nil // peer hung up between frames, no Bye
 			}
-			return err
+			return false, err
 		}
 		switch t {
 		case MsgBye:
-			return nil
+			return true, nil
 		case MsgTrain:
 			m, err := parseTrainMsg(body)
 			if err != nil {
-				return err // framing is broken; drop the connection
+				return false, err // framing is broken; drop the connection
 			}
 			sl := <-s.slots
 			// Decode before the next read — m.Frame aliases the reader's

@@ -201,7 +201,7 @@ func (t *TCP) Close() error {
 	}
 	t.wmu.Lock()
 	bye := endFrame(beginFrame(t.wbuf[:0], MsgBye), 0)
-	t.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	t.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_, _ = t.conn.Write(bye) // best effort
 	t.wmu.Unlock()
 	err := t.conn.Close()

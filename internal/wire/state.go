@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// State frames carry vectors of raw 64-bit words — counters, indices,
+// rng positions, flags — under the same framing discipline as parameter
+// frames: magic, section kind, little-endian count, payload, trailing
+// crc32. Checkpoints are built from them (plus Float64 parameter frames
+// for model state), so every piece of persisted run state inherits the
+// wire layer's corruption detection.
+//
+//	magic (2B) | kind (1B) | reserved (1B) | count (4B LE) |
+//	count × u64 LE | crc32 of everything before it (4B)
+const stateMagic = 0xFC5B // parameter frames use 0xFC5A
+
+// stateHeaderLen is the fixed state-frame prefix length.
+const stateHeaderLen = 2 + 1 + 1 + 4
+
+// StateFrameSize returns the total frame size for n words.
+func StateFrameSize(n int) int { return stateHeaderLen + 8*n + 4 }
+
+// AppendStateFrame appends a state frame tagged kind carrying words to
+// dst and returns the extended slice. Like EncodeInto, the frame may land
+// mid-buffer: its checksum covers only the bytes this call appends.
+func AppendStateFrame(dst []byte, kind uint8, words []uint64) []byte {
+	start := len(dst)
+	out := append(dst, byte(stateMagic>>8), byte(stateMagic&0xff), kind, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(words)))
+	for _, w := range words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[start:]))
+}
+
+// StateFrameLen inspects a buffer that begins with a state frame and
+// returns the full frame length, so back-to-back frames in one buffer
+// (a checkpoint file) can be sliced apart before decoding. maxLen bounds
+// the answer: a hostile count field yields an error, never a giant
+// allocation downstream. The buffer may be longer than the frame.
+func StateFrameLen(buf []byte, maxLen int) (int, error) {
+	if len(buf) < stateHeaderLen {
+		return 0, fmt.Errorf("wire: state frame header truncated (%d bytes)", len(buf))
+	}
+	if buf[0] != byte(stateMagic>>8) || buf[1] != byte(stateMagic&0xff) {
+		return 0, fmt.Errorf("wire: bad state magic %#x%02x", buf[0], buf[1])
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[4:8]))
+	size := int64(stateHeaderLen) + 8*n + 4
+	if size > int64(maxLen) {
+		return 0, fmt.Errorf("wire: state frame of %d words exceeds limit %d", n, maxLen)
+	}
+	return int(size), nil
+}
+
+// DecodeStateFrame parses a complete state frame, returning its kind and
+// words. It never panics: truncation, bad magic, length mismatches, and
+// checksum failures are errors — checkpoint files arrive from disk with
+// no more provenance than a network peer.
+func DecodeStateFrame(frame []byte) (kind uint8, words []uint64, err error) {
+	return DecodeStateFrameInto(nil, frame)
+}
+
+// DecodeStateFrameInto is DecodeStateFrame writing into dst (grown when
+// too small); the returned slice aliases dst's backing array when it fits.
+func DecodeStateFrameInto(dst []uint64, frame []byte) (kind uint8, words []uint64, err error) {
+	if len(frame) < stateHeaderLen+4 {
+		return 0, nil, fmt.Errorf("wire: state frame too short (%d bytes)", len(frame))
+	}
+	if frame[0] != byte(stateMagic>>8) || frame[1] != byte(stateMagic&0xff) {
+		return 0, nil, fmt.Errorf("wire: bad state magic %#x%02x", frame[0], frame[1])
+	}
+	body, sum := frame[:len(frame)-4], binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("wire: state frame checksum mismatch")
+	}
+	n := int(binary.LittleEndian.Uint32(frame[4:8]))
+	if n < 0 || StateFrameSize(n) != len(frame) {
+		return 0, nil, fmt.Errorf("wire: state frame length %d, want %d for %d words", len(frame), StateFrameSize(n), n)
+	}
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	words = dst[:n]
+	payload := frame[stateHeaderLen:]
+	for i := 0; i < n; i++ {
+		words[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return frame[2], words, nil
+}
+
+// FrameLen is StateFrameLen for parameter frames: the full length of the
+// Encode-produced frame a buffer begins with, bounded by maxLen.
+func FrameLen(buf []byte, maxLen int) (int, error) {
+	c, err := FrameCodec(buf)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[4:8]))
+	var size int64
+	switch c {
+	case Float64:
+		size = int64(headerLen) + 8*n + 4
+	case Float32:
+		size = int64(headerLen) + 4*n + 4
+	case Quant8:
+		size = int64(headerLen) + 16 + n + 4
+	}
+	if size > int64(maxLen) {
+		return 0, fmt.Errorf("wire: frame of %d values exceeds limit %d", n, maxLen)
+	}
+	return int(size), nil
+}
