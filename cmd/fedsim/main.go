@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"fedclust/internal/experiments"
+	"fedclust/internal/fl"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 	methodsFlag := fs.String("methods", strings.Join(experiments.MethodNames, ","), "methods (table1)")
 	rounds := fs.Int("rounds", 0, "override training rounds where applicable")
 	workers := fs.Int("workers", 0, "cap simulator parallelism (sets GOMAXPROCS; default all cores)")
+	dtypeFlag := fs.String("dtype", "float64", "numeric compute path: float64 (golden reference) or float32 (SIMD kernels, ~2x+ local training)")
 	scenarioOn := fs.Bool("scenario", true, "enable the system-heterogeneity scenario layer (stragglers)")
 	deadline := fs.Float64("deadline", 1, "virtual round deadline in nominal local-pass units (stragglers)")
 	stragglerFrac := fs.Float64("straggler-frac", 0.3, "fraction of clients in the slow cohort (stragglers)")
@@ -96,6 +98,15 @@ func main() {
 		// work-sharing pool in internal/sched.
 		runtime.GOMAXPROCS(*workers)
 	}
+	dtype, err := fl.ParseDType(*dtypeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(2)
+	}
+	// One knob for every environment the process builds: in-process
+	// experiments read it from BuildEnv; serve ships it in the spec so
+	// joining nodes run the same path.
+	experiments.DefaultDType = dtype
 
 	start := time.Now()
 	switch cmd {
@@ -191,7 +202,7 @@ experiments:
   join             serve local training as a node of a coordinator
   status           query a running coordinator's control plane
 
-flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N
+flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N, -dtype float64|float32
 scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c
 transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id, -rejoin s
 checkpoint flags (serve): -checkpoint path, -checkpoint-every N, -resume path, -control addr

@@ -20,6 +20,7 @@ import (
 	"fedclust/internal/control"
 	"fedclust/internal/core"
 	"fedclust/internal/data"
+	"fedclust/internal/experiments"
 	"fedclust/internal/fl"
 	"fedclust/internal/methods"
 	"fedclust/internal/transport"
@@ -45,6 +46,7 @@ func distSpec(quick bool, seed uint64, rounds int) *transport.Spec {
 		Rounds:    20,
 		EvalEvery: 5,
 		Local:     fl.LocalConfig{Epochs: 2, BatchSize: 32, LR: 0.1, Momentum: 0.9},
+		DType:     experiments.DefaultDType.String(),
 	}
 	if quick {
 		s.Dataset.H, s.Dataset.W, s.Dataset.Classes = 8, 8, 4

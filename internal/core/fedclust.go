@@ -330,6 +330,9 @@ func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(w
 		layerSel = cfg.WeightLayer
 	}
 	scratches := make([]fl.TrainScratch, env.WorkerCount())
+	for w := range scratches {
+		scratches[w].DType = env.DType
+	}
 	env.ParallelClientsWorker(n, func(w, i int) {
 		if rt := env.Remote; rt != nil && rt.Owns(i) {
 			vec := make([]float64, len(initLayer))

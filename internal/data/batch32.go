@@ -1,0 +1,118 @@
+package data
+
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Batch32 is one float32 minibatch: inputs plus labels.
+type Batch32 struct {
+	X *tensor.Tensor32
+	Y []int
+}
+
+// Batcher32 is the float32 mirror of Batcher: it cuts the dataset into
+// shuffled minibatch views over one persistent float32 buffer, reading
+// rows from the dataset's lazily built float32 feature copy. Reset
+// consumes exactly the same shuffle draws as Batcher.Reset, so for the
+// same epoch RNG the float32 path sees identical batch composition.
+type Batcher32 struct {
+	d     *Dataset
+	size  int
+	order []int
+	pos   int
+	full  *tensor.Tensor32
+	tail  *tensor.Tensor32
+	y     []int
+}
+
+// features32 returns the dataset's float32 feature matrix, building it
+// on first use (one rounding per scalar; the float64 X stays canonical).
+func (d *Dataset) features32() []float32 {
+	if d.x32 == nil {
+		d.x32 = make([]float32, len(d.X.Data))
+		for i, v := range d.X.Data {
+			d.x32[i] = float32(v)
+		}
+	}
+	return d.x32
+}
+
+// Batcher32 returns the dataset's cached float32 batcher for the given
+// size, building it on first use — the float32 analogue of Batcher.
+func (d *Dataset) Batcher32(size int) *Batcher32 {
+	for _, b := range d.batchers32 {
+		if b.size == size {
+			return b
+		}
+	}
+	b := newBatcher32(d, size)
+	d.batchers32 = append(d.batchers32, b)
+	return b
+}
+
+// newBatcher32 sizes the backing buffer and batch views for the dataset.
+func newBatcher32(d *Dataset, size int) *Batcher32 {
+	if size <= 0 {
+		panic(fmt.Sprintf("data: batch size must be positive, got %d", size))
+	}
+	n, dim := d.Len(), d.Dim()
+	rows := size
+	if n < size {
+		rows = n
+	}
+	b := &Batcher32{
+		d: d, size: size,
+		order: make([]int, n),
+		pos:   n, // exhausted until the first Reset
+		y:     make([]int, rows),
+	}
+	buf := make([]float32, rows*dim)
+	if n >= size {
+		b.full = tensor.FromSlice32(buf, size, dim)
+	}
+	if rem := n % size; rem != 0 {
+		b.tail = tensor.FromSlice32(buf[:rem*dim], rem, dim)
+	}
+	return b
+}
+
+// Reset rewinds the batcher for a new epoch, reshuffling with r exactly
+// as Batcher.Reset does (identical stream consumption). A nil rng yields
+// deterministic order.
+func (b *Batcher32) Reset(r *rng.Rng) {
+	b.pos = 0
+	for i := range b.order {
+		b.order[i] = i
+	}
+	if r != nil {
+		r.Shuffle(len(b.order), func(i, j int) { b.order[i], b.order[j] = b.order[j], b.order[i] })
+	}
+}
+
+// Next copies the next minibatch into the reused view and returns it, or
+// ok=false when the epoch is exhausted.
+func (b *Batcher32) Next() (batch Batch32, ok bool) {
+	n := b.d.Len()
+	if b.pos >= n {
+		return Batch32{}, false
+	}
+	feats := b.d.features32()
+	dim := b.d.Dim()
+	hi := b.pos + b.size
+	x := b.full
+	if hi > n {
+		hi = n
+		x = b.tail
+	}
+	count := hi - b.pos
+	for i := 0; i < count; i++ {
+		src := b.order[b.pos+i]
+		copy(x.Row(i), feats[src*dim:(src+1)*dim])
+		b.y[i] = b.d.Y[src]
+	}
+	b.pos = hi
+	return Batch32{X: x, Y: b.y[:count]}, true
+}

@@ -28,6 +28,12 @@ type Dataset struct {
 	// batchers caches one Batcher per batch size seen (a dataset sees at
 	// most a couple: the training batch and the evaluation batch).
 	batchers []*Batcher
+
+	// x32 is the lazily built float32 copy of X backing Batcher32 (the
+	// float32 compute path); single-goroutine ownership makes the lazy
+	// fill safe without synchronization. batchers32 mirrors batchers.
+	x32        []float32
+	batchers32 []*Batcher32
 }
 
 // Len returns the number of examples.

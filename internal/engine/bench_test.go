@@ -44,6 +44,20 @@ func BenchmarkRoundDriverRound(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundDriverRound32 is BenchmarkRoundDriverRound on the
+// float32 compute path — the whole-round speedup pair for
+// BENCH_pr7.json (local training, aggregation plumbing, and the
+// final-round evaluation all included).
+func BenchmarkRoundDriverRound32(b *testing.B) {
+	env := benchEnv(1)
+	env.DType = fl.Float32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		methods.FedAvg{}.Run(env)
+	}
+}
+
 // BenchmarkRoundDriverRoundScenario is BenchmarkRoundDriverRound with
 // the system-heterogeneity layer active (stragglers, dropouts, jitter,
 // partial-work weighting) — the direct scenario-on/off comparison for

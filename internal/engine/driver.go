@@ -276,7 +276,7 @@ func DefaultLocal(ctx *ClientCtx) {
 		return
 	}
 	if ctx.Scratch == nil {
-		ctx.Scratch = &fl.TrainScratch{}
+		ctx.Scratch = &fl.TrainScratch{DType: ctx.Env.DType}
 	}
 	nn.LoadParams(ctx.Model, ctx.Start)
 	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.LocalConfig(), ctx.VisitRng())

@@ -112,7 +112,7 @@ func newEnvState(env *fl.Env) *envState {
 	}
 	es.ctxs = make([]*ClientCtx, es.pool.Size())
 	for w := range es.ctxs {
-		es.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{}}
+		es.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{DType: env.DType}}
 	}
 	es.gatherVecs = make([][]float64, 0, n)
 	es.gatherWs = make([]float64, 0, n)
@@ -203,6 +203,7 @@ func (es *envState) rebind(env *fl.Env, d *RoundDriver) {
 	es.d = d
 	for _, ctx := range es.ctxs {
 		ctx.Env = env
+		ctx.Scratch.DType = env.DType
 	}
 	es.remoteOn = env.Remote != nil
 	if es.remoteOn {

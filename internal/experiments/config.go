@@ -15,6 +15,11 @@ import (
 // DatasetNames are the three Table-I datasets, in the paper's column order.
 var DatasetNames = []string{"cifar10", "fmnist", "svhn"}
 
+// DefaultDType is the numeric compute path every environment built by
+// this package runs (fedsim's -dtype flag sets it once at startup). The
+// zero value keeps the float64 golden path.
+var DefaultDType fl.DType
+
 // MethodNames are the Table-I methods, in the paper's row order.
 var MethodNames = []string{"FedAvg", "FedProx", "CFL", "IFCA", "PACFL", "FedClust"}
 
@@ -120,6 +125,7 @@ func BuildEnv(w Workload, seed uint64) *fl.Env {
 		Local:     fl.LocalConfig{Epochs: w.Epochs, BatchSize: w.BatchSize, LR: w.LR, Momentum: w.Momentum},
 		Seed:      seed,
 		EvalEvery: w.EvalEvery,
+		DType:     DefaultDType,
 	}
 }
 

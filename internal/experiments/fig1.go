@@ -89,6 +89,7 @@ func RunFig1(opts Fig1Options) *Fig1Result {
 		Rounds: 1,
 		Local:  fl.LocalConfig{Epochs: opts.Epochs, BatchSize: opts.BatchSize, LR: opts.LR},
 		Seed:   opts.Seed,
+		DType:  DefaultDType,
 	}
 
 	// Train every client locally from the shared init once, keeping the
@@ -99,7 +100,8 @@ func RunFig1(opts Fig1Options) *Fig1Result {
 	env.ParallelClients(n, func(i int) {
 		m := env.NewModel()
 		nn.LoadParams(m, init)
-		fl.LocalUpdate(m, env.Clients[i].Train, env.Local, env.ClientRng(i, 0))
+		ts := fl.TrainScratch{DType: env.DType}
+		ts.LocalUpdate(m, env.Clients[i].Train, env.Local, env.ClientRng(i, 0))
 		models[i] = m
 	})
 

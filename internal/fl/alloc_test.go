@@ -80,6 +80,41 @@ func TestLocalUpdateCallSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestLocalUpdate32CallSteadyStateAllocs asserts the whole warm
+// float32 LocalUpdate call — mirror reuse, parameter rounding, the full
+// float32 epoch loop, widening back — allocates nothing, matching the
+// float64 path's zero-alloc contract.
+func TestLocalUpdate32CallSteadyStateAllocs(t *testing.T) {
+	d := benchDataset(10) // includes a partial final batch (40 % 16 != 0)
+	model := allocModel()
+	cfg := LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	ts := TrainScratch{DType: Float32}
+	r := rng.New(6)
+	ts.LocalUpdate(model, d, cfg, r)
+	if !ts.ranF32 {
+		t.Fatal("float32 scratch did not take the float32 path")
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		ts.LocalUpdate(model, d, cfg, r)
+	}); n != 0 {
+		t.Fatalf("warm float32 LocalUpdate call allocates %v times, want 0", n)
+	}
+}
+
+// TestEvaluate32CallSteadyStateAllocs asserts the warm float32
+// evaluation call allocates nothing.
+func TestEvaluate32CallSteadyStateAllocs(t *testing.T) {
+	d := benchDataset(10)
+	model := allocModel()
+	ts := TrainScratch{DType: Float32}
+	ts.Evaluate(model, d, 16)
+	if n := testing.AllocsPerRun(20, func() {
+		ts.Evaluate(model, d, 16)
+	}); n != 0 {
+		t.Fatalf("warm float32 Evaluate call allocates %v times, want 0", n)
+	}
+}
+
 // TestEvaluateBatchZeroAllocs asserts a warm evaluation batch — forward,
 // loss, accuracy — performs zero heap allocations.
 func TestEvaluateBatchZeroAllocs(t *testing.T) {

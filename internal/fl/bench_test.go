@@ -61,3 +61,61 @@ func BenchmarkEvaluate(b *testing.B) {
 		Evaluate(model, d, 64)
 	}
 }
+
+// benchLocalUpdate runs BenchmarkLocalUpdate's exact visit through a
+// persistent per-dtype scratch — the engine's actual hot path (one warm
+// TrainScratch per worker) — so the float64/float32 pair measures the
+// compute paths, not scratch construction.
+func benchLocalUpdate(b *testing.B, dtype DType) {
+	d := benchDataset(40)
+	model := nn.MLP(rng.New(1), d.Dim(), 20, d.Classes)
+	cfg := LocalConfig{Epochs: 2, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	w0 := nn.FlattenParams(model)
+	ts := TrainScratch{DType: dtype}
+	ts.LocalUpdate(model, d, cfg, rng.New(0)) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.LoadParams(model, w0)
+		ts.LocalUpdate(model, d, cfg, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkLocalUpdateScratch64(b *testing.B) { benchLocalUpdate(b, Float64) }
+func BenchmarkLocalUpdateScratch32(b *testing.B) { benchLocalUpdate(b, Float32) }
+
+// benchLocalUpdateLeNet is benchLocalUpdate on the Table-I
+// convolutional architecture (im2col + conv matmuls dominate).
+func benchLocalUpdateLeNet(b *testing.B, dtype DType) {
+	d := benchDataset(40)
+	model := nn.LeNet5(rng.New(1), d.C, d.H, d.W, d.Classes, 0.5)
+	cfg := LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.9}
+	w0 := nn.FlattenParams(model)
+	ts := TrainScratch{DType: dtype}
+	ts.LocalUpdate(model, d, cfg, rng.New(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.LoadParams(model, w0)
+		ts.LocalUpdate(model, d, cfg, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkLocalUpdateLeNet64(b *testing.B) { benchLocalUpdateLeNet(b, Float64) }
+func BenchmarkLocalUpdateLeNet32(b *testing.B) { benchLocalUpdateLeNet(b, Float32) }
+
+// benchEvaluate is BenchmarkEvaluate through a per-dtype scratch.
+func benchEvaluate(b *testing.B, dtype DType) {
+	d := benchDataset(40)
+	model := nn.MLP(rng.New(2), d.Dim(), 20, d.Classes)
+	ts := TrainScratch{DType: dtype}
+	ts.Evaluate(model, d, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Evaluate(model, d, 64)
+	}
+}
+
+func BenchmarkEvaluateCE64(b *testing.B) { benchEvaluate(b, Float64) }
+func BenchmarkEvaluateCE32(b *testing.B) { benchEvaluate(b, Float32) }

@@ -73,6 +73,11 @@ func (c LocalConfig) Check() error {
 // allocations. The zero value is ready to use; a TrainScratch must not be
 // shared across concurrent goroutines.
 type TrainScratch struct {
+	// DType routes LocalUpdate/Evaluate through the float32 compute path
+	// when set to Float32; models whose architecture has no float32
+	// mirror fall back to float64 transparently.
+	DType DType
+
 	sgd     *opt.SGD
 	ce      nn.SoftmaxCE
 	proxRef []float64
@@ -82,6 +87,22 @@ type TrainScratch struct {
 	model  *nn.Sequential
 	params []*tensor.Tensor
 	grads  []*tensor.Tensor
+
+	// Float32-path state (see client32.go): shadow is the float32
+	// replica of shadowSrc, rebuilt when the scratch changes models;
+	// mirrorFailed remembers an architecture Mirror32 could not handle
+	// so every visit doesn't retry.
+	shadow       *nn.Sequential32
+	shadowSrc    *nn.Sequential
+	mirrorFailed bool
+	sgd32        *opt.SGD32
+	ce32         nn.SoftmaxCE32
+	proxRef32    []float32
+	flat32       []float32
+	// ranF32 records whether the last LocalUpdate on this scratch ran on
+	// the float32 path, i.e. whether shadow holds the trained weights
+	// (the zero-convert wire fast path keys off this).
+	ranF32 bool
 }
 
 // bind refreshes the cached parameter and gradient lists for model.
@@ -106,6 +127,12 @@ func (ts *TrainScratch) LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg L
 	if d.Len() == 0 {
 		return 0
 	}
+	if ts.DType == Float32 {
+		if loss, ok := ts.localUpdate32(model, d, cfg, r); ok {
+			return loss
+		}
+	}
+	ts.ranF32 = false
 	ts.bind(model)
 	model.SeedStep(r)
 	var proxRef []float64
@@ -154,6 +181,14 @@ func (ts *TrainScratch) LocalUpdate(model *nn.Sequential, d *data.Dataset, cfg L
 // interleave evaluation with training on the same worker (e.g. IFCA's
 // per-cluster selection) without per-call workspace allocations.
 func (ts *TrainScratch) Evaluate(model *nn.Sequential, d *data.Dataset, batchSize int) (loss, acc float64) {
+	if ts.DType == Float32 {
+		if sh := ts.shadowFor(model); sh != nil {
+			// The shadow now holds eval weights, not a trained update.
+			ts.ranF32 = false
+			nn.AssignParams32(sh, model)
+			return EvaluateCE32(sh, d, batchSize, &ts.ce32)
+		}
+	}
 	return EvaluateCE(model, d, batchSize, &ts.ce)
 }
 

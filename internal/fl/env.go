@@ -31,6 +31,10 @@ type Env struct {
 	EvalBatch int
 	// Workers caps the parallel client executor (default GOMAXPROCS).
 	Workers int
+	// DType selects the numeric compute path for local training and
+	// evaluation (zero value Float64 keeps the golden reference path;
+	// Float32 enables the SIMD float32 kernels).
+	DType DType
 	// Participation controls per-round client sampling and failure
 	// injection (zero value: full participation, no failures).
 	Participation Participation

@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// numericalGrad32 estimates dLoss/dTheta for every parameter of the
+// float32 net by central finite differences. The loss head reports in
+// float64, so eps can sit well above float32 noise while the quotient
+// stays meaningful.
+func numericalGrad32(net *Sequential32, x *tensor.Tensor32, labels []int, eps float32) []float64 {
+	var ce SoftmaxCE32
+	lossAt := func() float64 {
+		loss, _, _ := ce.Loss(net.Forward(x, false), labels)
+		return loss
+	}
+	var grads []float64
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			lp := lossAt()
+			p.Data[i] = orig - eps
+			lm := lossAt()
+			p.Data[i] = orig
+			grads = append(grads, (lp-lm)/(2*float64(eps)))
+		}
+	}
+	return grads
+}
+
+// analyticGrad32 runs one forward/backward pass on the float32 net and
+// returns the flat parameter gradient widened to float64.
+func analyticGrad32(net *Sequential32, x *tensor.Tensor32, labels []int) []float64 {
+	var ce SoftmaxCE32
+	net.ZeroGrads()
+	logits := net.Forward(x, true)
+	_, grad, _ := ce.Loss(logits, labels)
+	net.Backward(grad)
+	var out []float64
+	for _, g := range net.Grads() {
+		for _, v := range g.Data {
+			out = append(out, float64(v))
+		}
+	}
+	return out
+}
+
+// checkGradients32 mirrors checkGradients with tolerances widened for
+// float32 forward-pass noise: eps 1e-2 (so the central difference rises
+// above rounding) and relative tolerance 5e-2.
+func checkGradients32(t *testing.T, src *Sequential, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	net := Mirror32(src)
+	if net == nil {
+		t.Fatalf("Mirror32 returned nil for %v", src)
+	}
+	AssignParams32(net, src)
+	x32 := tensor.New32(x.Shape...)
+	for i, v := range x.Data {
+		x32.Data[i] = float32(v)
+	}
+	num := numericalGrad32(net, x32, labels, 1e-2)
+	ana := analyticGrad32(net, x32, labels)
+	if len(num) != len(ana) {
+		t.Fatalf("gradient lengths differ: %d vs %d", len(num), len(ana))
+	}
+	for i := range num {
+		scale := math.Abs(ana[i]) + math.Abs(num[i])
+		if scale < 1e-2 {
+			scale = 1e-2
+		}
+		if math.Abs(ana[i]-num[i])/scale > 5e-2 {
+			t.Fatalf("gradient %d: analytic %.6g vs numerical %.6g", i, ana[i], num[i])
+		}
+	}
+}
+
+// checkGradients32VsFloat64 checks the float32 analytic gradient against
+// the float64 analytic gradient of the source network. The float64
+// gradient is itself pinned by the float64 numerical gradcheck suite, so
+// this transitively verifies the float32 backward pass — and unlike a
+// wide-eps central difference it is immune to ReLU/argmax kink crossing,
+// which is why the kinked stacks use it.
+func checkGradients32VsFloat64(t *testing.T, src *Sequential, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	ref := analyticGrad(src, x, labels)
+	net := Mirror32(src)
+	if net == nil {
+		t.Fatalf("Mirror32 returned nil for %v", src)
+	}
+	AssignParams32(net, src)
+	x32 := tensor.New32(x.Shape...)
+	for i, v := range x.Data {
+		x32.Data[i] = float32(v)
+	}
+	got := analyticGrad32(net, x32, labels)
+	if len(got) != len(ref) {
+		t.Fatalf("gradient lengths differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		scale := math.Abs(ref[i]) + math.Abs(got[i])
+		if scale < 1e-3 {
+			scale = 1e-3
+		}
+		if math.Abs(got[i]-ref[i])/scale > 5e-3 {
+			t.Fatalf("gradient %d: float32 %.6g vs float64 %.6g", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestGradCheck32Dense(t *testing.T) {
+	r := rng.New(42)
+	net := NewSequential(NewDense(7, 4, r))
+	checkGradients32(t, net, randInput(r, 5, 7), []int{0, 1, 2, 3, 0})
+}
+
+func TestGradCheck32MLPReLU(t *testing.T) {
+	r := rng.New(43)
+	net := MLP(r, 6, 8, 3)
+	checkGradients32(t, net, randInput(r, 4, 6), []int{0, 1, 2, 1})
+}
+
+func TestGradCheck32Tanh(t *testing.T) {
+	r := rng.New(44)
+	net := NewSequential(NewDense(5, 6, r), NewTanh(6), NewDense(6, 3, r))
+	checkGradients32(t, net, randInput(r, 4, 5), []int{2, 0, 1, 2})
+}
+
+func TestGradCheck32ConvSmooth(t *testing.T) {
+	r := rng.New(45)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 3, r)
+	// No ReLU: the smooth stack keeps the central difference honest, so
+	// Conv2D32's backward gets a numerical check of its own.
+	net := NewSequential(conv, NewDense(conv.OutDim(), 3, r))
+	checkGradients32(t, net, randInput(r, 2, g.InC*g.InH*g.InW), []int{0, 2})
+}
+
+func TestGradCheck32ConvReLU(t *testing.T) {
+	r := rng.New(45)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 3, r)
+	net := NewSequential(conv, NewReLU(conv.OutDim()), NewDense(conv.OutDim(), 3, r))
+	checkGradients32VsFloat64(t, net, randInput(r, 2, g.InC*g.InH*g.InW), []int{0, 2})
+}
+
+func TestGradCheck32MaxPoolStack(t *testing.T) {
+	r := rng.New(46)
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(g, 2, r)
+	pool := NewMaxPool2(2, 8, 8)
+	net := NewSequential(conv, NewReLU(conv.OutDim()), pool, NewDense(pool.OutDim(), 3, r))
+	checkGradients32VsFloat64(t, net, randInput(r, 2, 64), []int{1, 2})
+}
+
+func TestGradCheck32AvgPoolSigmoid(t *testing.T) {
+	r := rng.New(47)
+	pool := NewAvgPool2(1, 6, 6)
+	net := NewSequential(pool, NewSigmoid(pool.OutDim()), NewDense(pool.OutDim(), 2, r))
+	checkGradients32(t, net, randInput(r, 3, 36), []int{0, 1, 0})
+}
+
+func TestGradCheck32LeNetTiny(t *testing.T) {
+	r := rng.New(48)
+	net := LeNet5(r, 1, 12, 12, 3, 0.25)
+	checkGradients32VsFloat64(t, net, randInput(r, 2, 144), []int{0, 2})
+}
+
+// TestMirror32ForwardMatchesFloat64 pins the per-layer divergence
+// contract at the model level: an eval-mode forward pass of a mirrored
+// LeNet stays within float32 rounding of the float64 reference.
+func TestMirror32ForwardMatchesFloat64(t *testing.T) {
+	r := rng.New(49)
+	net := LeNet5(r, 1, 12, 12, 3, 0.5)
+	m := Mirror32(net)
+	if m == nil {
+		t.Fatal("Mirror32 returned nil for LeNet5")
+	}
+	AssignParams32(m, net)
+	x := randInput(r, 4, 144)
+	x32 := tensor.New32(x.Shape...)
+	for i, v := range x.Data {
+		x32.Data[i] = float32(v)
+	}
+	y64 := net.Forward(x, false)
+	y32 := m.Forward(x32, false)
+	if y32.Shape[0] != y64.Shape[0] || y32.Shape[1] != y64.Shape[1] {
+		t.Fatalf("shape mismatch %v vs %v", y32.Shape, y64.Shape)
+	}
+	for i := range y64.Data {
+		diff := math.Abs(float64(y32.Data[i]) - y64.Data[i])
+		scale := math.Abs(y64.Data[i]) + 1
+		if diff/scale > 1e-4 {
+			t.Fatalf("logit %d diverges: f32 %g vs f64 %g", i, y32.Data[i], y64.Data[i])
+		}
+	}
+}
+
+// TestMirror32RoundTripParams pins that AssignParams32 → CopyParams64 is
+// the exact float32 rounding of the originals (widening is lossless),
+// the property the zero-convert wire fast path relies on.
+func TestMirror32RoundTripParams(t *testing.T) {
+	r := rng.New(50)
+	net := MLP(r, 6, 8, 3)
+	m := Mirror32(net)
+	AssignParams32(m, net)
+	clone := MLP(rng.New(50), 6, 8, 3)
+	CopyParams64(clone, m)
+	cp, np := clone.Params(), net.Params()
+	for i := range np {
+		for j := range np[i].Data {
+			want := float64(float32(np[i].Data[j]))
+			if cp[i].Data[j] != want {
+				t.Fatalf("param %d[%d]: round-trip %g, want %g", i, j, cp[i].Data[j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Layer32 is the float32 mirror of Layer: one differentiable stage of a
+// float32 network, with the same workspace contract (Forward/Backward
+// return tensors backed by reused layer-owned workspaces, valid only
+// until the next call).
+//
+// The float32 layer set exists only as the compute path of mirrored
+// shadows (Mirror32): construction copies hyperparameters from a float64
+// network and AssignParams32 loads its weights, so the float64 model
+// stays the golden reference end to end (DESIGN.md §10).
+type Layer32 interface {
+	Name() string
+	Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32
+	Backward(gradOut *tensor.Tensor32) *tensor.Tensor32
+	Params() []*tensor.Tensor32
+	Grads() []*tensor.Tensor32
+	OutDim() int
+}
+
+// Sequential32 chains float32 layers, mirroring Sequential: the layer
+// list is fixed after construction and the parameter/gradient lists and
+// scalar count are cached on first use.
+type Sequential32 struct {
+	Layers []Layer32
+
+	params, grads []*tensor.Tensor32
+	numParams     int
+}
+
+// NewSequential32 builds a float32 network from the given layers.
+func NewSequential32(layers ...Layer32) *Sequential32 {
+	return &Sequential32{Layers: layers}
+}
+
+// Forward runs all layers in order.
+func (s *Sequential32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers in reverse.
+func (s *Sequential32) Backward(grad *tensor.Tensor32) *tensor.Tensor32 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every parameter tensor in layer order (cached, shared).
+func (s *Sequential32) Params() []*tensor.Tensor32 {
+	if s.params == nil {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
+	}
+	return s.params
+}
+
+// Grads returns every gradient tensor in layer order, aligned with Params.
+func (s *Sequential32) Grads() []*tensor.Tensor32 {
+	if s.grads == nil {
+		for _, l := range s.Layers {
+			s.grads = append(s.grads, l.Grads()...)
+		}
+	}
+	return s.grads
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (s *Sequential32) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// SeedStep mirrors Sequential.SeedStep with the identical derivation key
+// and layer indexing. Mirror32 preserves layer positions 1:1, so a
+// float32 shadow draws byte-identical stochastic streams (dropout masks)
+// to the float64 network it mirrors.
+func (s *Sequential32) SeedStep(r *rng.Rng) {
+	for i, l := range s.Layers {
+		if ss, ok := l.(StepSeeded); ok {
+			ss.SeedStep(r.Derive(0xd809, uint64(i)))
+		}
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential32) NumParams() int {
+	if s.numParams == 0 {
+		for _, p := range s.Params() {
+			s.numParams += p.Size()
+		}
+	}
+	return s.numParams
+}
+
+// String lists the layer names.
+func (s *Sequential32) String() string {
+	out := "Sequential32["
+	for i, l := range s.Layers {
+		if i > 0 {
+			out += " → "
+		}
+		out += l.Name()
+	}
+	return out + "]"
+}
+
+// checkBatchInput32 is checkBatchInput for the float32 layer set.
+func checkBatchInput32(l Layer32, stage string, x *tensor.Tensor32, inDim int) {
+	if len(x.Shape) != 2 {
+		panic(fmt.Sprintf("nn: %s%s expects (batch, features) input, got %v", l.Name(), stage, x.Shape))
+	}
+	if x.Shape[1] != inDim {
+		panic(fmt.Sprintf("nn: %s%s expects %d input features, got %d", l.Name(), stage, inDim, x.Shape[1]))
+	}
+}
+
+// ws32 is the float32 mirror of ws: a lazily sized rank-2 workspace with
+// the same four-entry MRU header cache, so the warm float32 training
+// step allocates nothing.
+type ws32 struct {
+	buf  []float32
+	hdrs [4]*tensor.Tensor32
+}
+
+// get returns the (rows, cols) workspace tensor, reusing storage and
+// headers whenever possible. Contents are unspecified.
+func (w *ws32) get(rows, cols int) *tensor.Tensor32 {
+	for i, h := range w.hdrs {
+		if h != nil && h.Shape[0] == rows && h.Shape[1] == cols {
+			copy(w.hdrs[1:i+1], w.hdrs[:i])
+			w.hdrs[0] = h
+			return h
+		}
+	}
+	need := rows * cols
+	if cap(w.buf) < need {
+		w.buf = make([]float32, need)
+		w.hdrs = [4]*tensor.Tensor32{}
+	}
+	h := tensor.FromSlice32(w.buf[:need:need], rows, cols)
+	copy(w.hdrs[1:], w.hdrs[:len(w.hdrs)-1])
+	w.hdrs[0] = h
+	return h
+}

@@ -1,0 +1,613 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/tensor"
+)
+
+// Float32 mirrors of the layer zoo. Constructors take explicit
+// hyperparameters (no initialization RNG): float32 layers are built by
+// Mirror32 as shadows of an initialized float64 network, and receive
+// their weights through AssignParams32. Forward/backward algorithms,
+// summation orders, and tie-breaking match the float64 layers statement
+// for statement so the divergence-bound tests measure only rounding.
+
+// Dense32 is the float32 mirror of Dense: y = x·Wᵀ + b.
+type Dense32 struct {
+	In, Out int
+	W       *tensor.Tensor32 // (Out, In)
+	B       *tensor.Tensor32 // (Out)
+	gw, gb  *tensor.Tensor32
+	x       *tensor.Tensor32
+
+	out   ws32
+	gwTmp ws32
+	gx    ws32
+}
+
+// NewDense32 constructs a zero-weight float32 dense layer.
+func NewDense32(in, out int) *Dense32 {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense32 dims must be positive, got %d→%d", in, out))
+	}
+	return &Dense32{
+		In: in, Out: out,
+		W:  tensor.New32(out, in),
+		B:  tensor.New32(out),
+		gw: tensor.New32(out, in),
+		gb: tensor.New32(out),
+	}
+}
+
+// Name implements Layer32.
+func (d *Dense32) Name() string { return fmt.Sprintf("dense32(%d→%d)", d.In, d.Out) }
+
+// OutDim implements Layer32.
+func (d *Dense32) OutDim() int { return d.Out }
+
+// Forward implements Layer32.
+func (d *Dense32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(d, "", x, d.In)
+	d.x = x
+	batch := x.Shape[0]
+	y := d.out.get(batch, d.Out)
+	tensor.MatMulTransB32Into(y, x, d.W)
+	for i := 0; i < batch; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += d.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer32.
+func (d *Dense32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if d.x == nil {
+		panic("nn: Dense32.Backward called before Forward")
+	}
+	checkBatchInput32(d, " backward", gradOut, d.Out)
+	gw := d.gwTmp.get(d.Out, d.In)
+	tensor.MatMulTransA32Into(gw, gradOut, d.x)
+	d.gw.AddScaled(gw, 1)
+	batch := gradOut.Shape[0]
+	for i := 0; i < batch; i++ {
+		row := gradOut.Row(i)
+		for j, v := range row {
+			d.gb.Data[j] += v
+		}
+	}
+	gx := d.gx.get(batch, d.In)
+	tensor.MatMul32Into(gx, gradOut, d.W)
+	return gx
+}
+
+// Params implements Layer32.
+func (d *Dense32) Params() []*tensor.Tensor32 { return []*tensor.Tensor32{d.W, d.B} }
+
+// Grads implements Layer32.
+func (d *Dense32) Grads() []*tensor.Tensor32 { return []*tensor.Tensor32{d.gw, d.gb} }
+
+// Conv2D32 is the float32 mirror of Conv2D: batched im2col + one matmul.
+// Backward reuses the im2col workspace for the column gradient, so call
+// it at most once per Forward.
+type Conv2D32 struct {
+	Geom   tensor.ConvGeom
+	OutC   int
+	W      *tensor.Tensor32 // (OutC, InC*KH*KW)
+	B      *tensor.Tensor32 // (OutC)
+	gw, gb *tensor.Tensor32
+	batch  int
+
+	cols  ws32
+	mm    ws32
+	out   ws32
+	gwTmp ws32
+	gx    ws32
+}
+
+// NewConv2D32 constructs a zero-weight float32 convolution.
+func NewConv2D32(g tensor.ConvGeom, outC int) *Conv2D32 {
+	g.Validate()
+	if outC <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D32 outC must be positive, got %d", outC))
+	}
+	rowLen := g.InC * g.KH * g.KW
+	return &Conv2D32{
+		Geom: g, OutC: outC,
+		W:  tensor.New32(outC, rowLen),
+		B:  tensor.New32(outC),
+		gw: tensor.New32(outC, rowLen),
+		gb: tensor.New32(outC),
+	}
+}
+
+// Name implements Layer32.
+func (c *Conv2D32) Name() string {
+	return fmt.Sprintf("conv32 %dx%d(%d→%d)", c.Geom.KH, c.Geom.KW, c.Geom.InC, c.OutC)
+}
+
+// InDim returns the expected flattened input width.
+func (c *Conv2D32) InDim() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
+
+// OutDim implements Layer32.
+func (c *Conv2D32) OutDim() int { return c.OutC * c.Geom.OutH() * c.Geom.OutW() }
+
+// Forward implements Layer32.
+func (c *Conv2D32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(c, "", x, c.InDim())
+	batch := x.Shape[0]
+	c.batch = batch
+	outHW := c.Geom.OutH() * c.Geom.OutW()
+	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	cols := c.cols.get(batch*outHW, rowLen)
+	for b := 0; b < batch; b++ {
+		tensor.Im2Col32Into(x.Row(b), c.Geom, cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen])
+	}
+	y := c.mm.get(batch*outHW, c.OutC)
+	tensor.MatMulTransB32Into(y, cols, c.W)
+	out := c.out.get(batch, c.OutC*outHW)
+	for b := 0; b < batch; b++ {
+		dst := out.Row(b)
+		for p := 0; p < outHW; p++ {
+			src := y.Row(b*outHW + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				dst[ch*outHW+p] = src[ch] + c.B.Data[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer32.
+func (c *Conv2D32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if c.batch == 0 {
+		panic("nn: Conv2D32.Backward called before Forward")
+	}
+	checkBatchInput32(c, " backward", gradOut, c.OutDim())
+	batch := c.batch
+	outHW := c.Geom.OutH() * c.Geom.OutW()
+	rowLen := c.Geom.InC * c.Geom.KH * c.Geom.KW
+	cols := c.cols.get(batch*outHW, rowLen)
+	gy := c.mm.get(batch*outHW, c.OutC)
+	for b := 0; b < batch; b++ {
+		src := gradOut.Row(b)
+		for p := 0; p < outHW; p++ {
+			dst := gy.Row(b*outHW + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				dst[ch] = src[ch*outHW+p]
+			}
+		}
+	}
+	gw := c.gwTmp.get(c.OutC, rowLen)
+	tensor.MatMulTransA32Into(gw, gy, cols)
+	c.gw.AddScaled(gw, 1)
+	for i := 0; i < gy.Shape[0]; i++ {
+		row := gy.Row(i)
+		for ch, v := range row {
+			c.gb.Data[ch] += v
+		}
+	}
+	tensor.MatMul32Into(cols, gy, c.W)
+	gx := c.gx.get(batch, c.InDim())
+	gx.Zero()
+	for b := 0; b < batch; b++ {
+		tensor.Col2Im32Into(cols.Data[b*outHW*rowLen:(b+1)*outHW*rowLen], c.Geom, gx.Row(b))
+	}
+	return gx
+}
+
+// Params implements Layer32.
+func (c *Conv2D32) Params() []*tensor.Tensor32 { return []*tensor.Tensor32{c.W, c.B} }
+
+// Grads implements Layer32.
+func (c *Conv2D32) Grads() []*tensor.Tensor32 { return []*tensor.Tensor32{c.gw, c.gb} }
+
+// MaxPool232 is the float32 mirror of MaxPool2 (2×2, stride 2), with the
+// identical strict-greater tie-breaking in the argmax scan.
+type MaxPool232 struct {
+	C, H, W int
+	argmax  []int
+	batch   int
+	out, gx ws32
+}
+
+// NewMaxPool232 builds the layer for the given even input volume.
+func NewMaxPool232(c, h, w int) *MaxPool232 {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool232 invalid volume %dx%dx%d", c, h, w))
+	}
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool232 requires even H and W, got %dx%d", h, w))
+	}
+	return &MaxPool232{C: c, H: h, W: w}
+}
+
+// Name implements Layer32.
+func (p *MaxPool232) Name() string { return fmt.Sprintf("maxpool232(%dx%dx%d)", p.C, p.H, p.W) }
+
+// InDim returns the flattened input width.
+func (p *MaxPool232) InDim() int { return p.C * p.H * p.W }
+
+// OutDim implements Layer32.
+func (p *MaxPool232) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
+
+// Forward implements Layer32.
+func (p *MaxPool232) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(p, "", x, p.InDim())
+	batch := x.Shape[0]
+	p.batch = batch
+	oh, ow := p.H/2, p.W/2
+	out := p.out.get(batch, p.OutDim())
+	p.argmax = growInts(p.argmax, batch*p.OutDim())
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					i01 := i00 + 1
+					i10 := i00 + p.W
+					i11 := i10 + 1
+					bi, bv := i00, in[i00]
+					if in[i01] > bv {
+						bi, bv = i01, in[i01]
+					}
+					if in[i10] > bv {
+						bi, bv = i10, in[i10]
+					}
+					if in[i11] > bv {
+						bi, bv = i11, in[i11]
+					}
+					oi := outBase + oy*ow + ox
+					dst[oi] = bv
+					p.argmax[b*p.OutDim()+oi] = bi
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer32.
+func (p *MaxPool232) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if p.argmax == nil {
+		panic("nn: MaxPool232.Backward called before Forward")
+	}
+	checkBatchInput32(p, " backward", gradOut, p.OutDim())
+	gx := p.gx.get(p.batch, p.InDim())
+	gx.Zero()
+	for b := 0; b < p.batch; b++ {
+		src := gradOut.Row(b)
+		dst := gx.Row(b)
+		for oi, v := range src {
+			dst[p.argmax[b*p.OutDim()+oi]] += v
+		}
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (p *MaxPool232) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (p *MaxPool232) Grads() []*tensor.Tensor32 { return nil }
+
+// AvgPool232 is the float32 mirror of AvgPool2 (2×2, stride 2), with the
+// identical four-term summation order.
+type AvgPool232 struct {
+	C, H, W int
+	batch   int
+	out, gx ws32
+}
+
+// NewAvgPool232 builds the layer for the given even input volume.
+func NewAvgPool232(c, h, w int) *AvgPool232 {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool232 invalid volume %dx%dx%d", c, h, w))
+	}
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: AvgPool232 requires even H and W, got %dx%d", h, w))
+	}
+	return &AvgPool232{C: c, H: h, W: w}
+}
+
+// Name implements Layer32.
+func (p *AvgPool232) Name() string { return fmt.Sprintf("avgpool232(%dx%dx%d)", p.C, p.H, p.W) }
+
+// InDim returns the flattened input width.
+func (p *AvgPool232) InDim() int { return p.C * p.H * p.W }
+
+// OutDim implements Layer32.
+func (p *AvgPool232) OutDim() int { return p.C * (p.H / 2) * (p.W / 2) }
+
+// Forward implements Layer32.
+func (p *AvgPool232) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(p, "", x, p.InDim())
+	batch := x.Shape[0]
+	p.batch = batch
+	oh, ow := p.H/2, p.W/2
+	out := p.out.get(batch, p.OutDim())
+	for b := 0; b < batch; b++ {
+		in := x.Row(b)
+		dst := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					dst[outBase+oy*ow+ox] = 0.25 * (in[i00] + in[i00+1] + in[i00+p.W] + in[i00+p.W+1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer32.
+func (p *AvgPool232) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if p.batch == 0 {
+		panic("nn: AvgPool232.Backward called before Forward")
+	}
+	checkBatchInput32(p, " backward", gradOut, p.OutDim())
+	oh, ow := p.H/2, p.W/2
+	gx := p.gx.get(p.batch, p.InDim())
+	gx.Zero()
+	for b := 0; b < p.batch; b++ {
+		src := gradOut.Row(b)
+		dst := gx.Row(b)
+		for c := 0; c < p.C; c++ {
+			inBase := c * p.H * p.W
+			outBase := c * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := 0.25 * src[outBase+oy*ow+ox]
+					i00 := inBase + (2*oy)*p.W + 2*ox
+					dst[i00] += g
+					dst[i00+1] += g
+					dst[i00+p.W] += g
+					dst[i00+p.W+1] += g
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (p *AvgPool232) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (p *AvgPool232) Grads() []*tensor.Tensor32 { return nil }
+
+// ReLU32 is the float32 rectified linear activation.
+type ReLU32 struct {
+	dim     int
+	mask    []bool
+	out, gx ws32
+}
+
+// NewReLU32 builds a ReLU32 over dim features.
+func NewReLU32(dim int) *ReLU32 { return &ReLU32{dim: dim} }
+
+// Name implements Layer32.
+func (r *ReLU32) Name() string { return fmt.Sprintf("relu32(%d)", r.dim) }
+
+// OutDim implements Layer32.
+func (r *ReLU32) OutDim() int { return r.dim }
+
+// Forward implements Layer32.
+func (r *ReLU32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(r, "", x, r.dim)
+	out := r.out.get(x.Shape[0], x.Shape[1])
+	r.mask = growBools(r.mask, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer32.
+func (r *ReLU32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if r.mask == nil {
+		panic("nn: ReLU32.Backward called before Forward")
+	}
+	gx := r.gx.get(gradOut.Shape[0], gradOut.Shape[1])
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			gx.Data[i] = v
+		} else {
+			gx.Data[i] = 0
+		}
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (r *ReLU32) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (r *ReLU32) Grads() []*tensor.Tensor32 { return nil }
+
+// Tanh32 is the float32 hyperbolic tangent activation; the transcendental
+// is evaluated in float64 and rounded once.
+type Tanh32 struct {
+	dim     int
+	y       *tensor.Tensor32
+	out, gx ws32
+}
+
+// NewTanh32 builds a Tanh32 over dim features.
+func NewTanh32(dim int) *Tanh32 { return &Tanh32{dim: dim} }
+
+// Name implements Layer32.
+func (t *Tanh32) Name() string { return fmt.Sprintf("tanh32(%d)", t.dim) }
+
+// OutDim implements Layer32.
+func (t *Tanh32) OutDim() int { return t.dim }
+
+// Forward implements Layer32.
+func (t *Tanh32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(t, "", x, t.dim)
+	out := t.out.get(x.Shape[0], x.Shape[1])
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.y = out
+	return out
+}
+
+// Backward implements Layer32.
+func (t *Tanh32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if t.y == nil {
+		panic("nn: Tanh32.Backward called before Forward")
+	}
+	gx := t.gx.get(gradOut.Shape[0], gradOut.Shape[1])
+	for i, v := range gradOut.Data {
+		y := t.y.Data[i]
+		gx.Data[i] = v * (1 - y*y)
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (t *Tanh32) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (t *Tanh32) Grads() []*tensor.Tensor32 { return nil }
+
+// Sigmoid32 is the float32 logistic activation; the exponential is
+// evaluated in float64 and rounded once.
+type Sigmoid32 struct {
+	dim     int
+	y       *tensor.Tensor32
+	out, gx ws32
+}
+
+// NewSigmoid32 builds a Sigmoid32 over dim features.
+func NewSigmoid32(dim int) *Sigmoid32 { return &Sigmoid32{dim: dim} }
+
+// Name implements Layer32.
+func (s *Sigmoid32) Name() string { return fmt.Sprintf("sigmoid32(%d)", s.dim) }
+
+// OutDim implements Layer32.
+func (s *Sigmoid32) OutDim() int { return s.dim }
+
+// Forward implements Layer32.
+func (s *Sigmoid32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(s, "", x, s.dim)
+	out := s.out.get(x.Shape[0], x.Shape[1])
+	for i, v := range x.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(float64(-v))))
+	}
+	s.y = out
+	return out
+}
+
+// Backward implements Layer32.
+func (s *Sigmoid32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if s.y == nil {
+		panic("nn: Sigmoid32.Backward called before Forward")
+	}
+	gx := s.gx.get(gradOut.Shape[0], gradOut.Shape[1])
+	for i, v := range gradOut.Data {
+		y := s.y.Data[i]
+		gx.Data[i] = v * y * (1 - y)
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (s *Sigmoid32) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (s *Sigmoid32) Grads() []*tensor.Tensor32 { return nil }
+
+// Dropout32 is the float32 inverted dropout. The keep decision consumes
+// exactly the same r.Float64() draw per element as the float64 Dropout,
+// so a mirrored shadow sees identical masks — stream parity is part of
+// the divergence-bound contract.
+type Dropout32 struct {
+	dim     int
+	P       float64
+	rng     *rng.Rng
+	mask    []bool
+	active  bool
+	out, gx ws32
+}
+
+// NewDropout32 builds a Dropout32 with drop probability p in [0, 1).
+func NewDropout32(dim int, p float64, r *rng.Rng) *Dropout32 {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout32 probability %v out of [0,1)", p))
+	}
+	return &Dropout32{dim: dim, P: p, rng: r}
+}
+
+// Name implements Layer32.
+func (d *Dropout32) Name() string { return fmt.Sprintf("dropout32(%.2f)", d.P) }
+
+// OutDim implements Layer32.
+func (d *Dropout32) OutDim() int { return d.dim }
+
+// SeedStep implements StepSeeded: subsequent masks are drawn from r.
+func (d *Dropout32) SeedStep(r *rng.Rng) { d.rng = r }
+
+// Forward implements Layer32.
+func (d *Dropout32) Forward(x *tensor.Tensor32, train bool) *tensor.Tensor32 {
+	checkBatchInput32(d, "", x, d.dim)
+	if !train || d.P == 0 {
+		d.active = false
+		return x
+	}
+	out := d.out.get(x.Shape[0], x.Shape[1])
+	d.mask = growBools(d.mask, len(x.Data))
+	d.active = true
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer32.
+func (d *Dropout32) Backward(gradOut *tensor.Tensor32) *tensor.Tensor32 {
+	if !d.active {
+		return gradOut
+	}
+	gx := d.gx.get(gradOut.Shape[0], gradOut.Shape[1])
+	scale := float32(1 / (1 - d.P))
+	for i, v := range gradOut.Data {
+		if d.mask[i] {
+			gx.Data[i] = v * scale
+		} else {
+			gx.Data[i] = 0
+		}
+	}
+	return gx
+}
+
+// Params implements Layer32 (none).
+func (d *Dropout32) Params() []*tensor.Tensor32 { return nil }
+
+// Grads implements Layer32 (none).
+func (d *Dropout32) Grads() []*tensor.Tensor32 { return nil }

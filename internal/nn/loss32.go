@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/tensor"
+)
+
+// SoftmaxCE32 is the float32 mirror of SoftmaxCE. Activations are stored
+// in float32 but the transcendentals and reductions (exp, the softmax
+// normalizer, log) run in float64: the loss head is a tiny fraction of
+// step cost, and keeping it accurate means the reported loss diverges
+// from the float64 path only through the network, not the head.
+//
+// Like SoftmaxCE, the zero value is ready to use and the returned
+// tensors are valid only until the next Loss call.
+type SoftmaxCE32 struct {
+	gradWS, probsWS ws32
+}
+
+// Loss computes mean cross-entropy over the batch given raw float32
+// logits (batch, classes) and integer labels, returning the loss in
+// float64, the gradient with respect to the logits (divided by batch
+// size), and the softmax probabilities.
+func (ce *SoftmaxCE32) Loss(logits *tensor.Tensor32, labels []int) (loss float64, grad, probs *tensor.Tensor32) {
+	if len(logits.Shape) != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCE32 expects (batch, classes) logits, got %v", logits.Shape))
+	}
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: SoftmaxCE32 got %d labels for batch of %d", len(labels), batch))
+	}
+	probs = ce.probsWS.get(batch, classes)
+	grad = ce.gradWS.get(batch, classes)
+	invB := 1 / float64(batch)
+	for b := 0; b < batch; b++ {
+		row := logits.Row(b)
+		p := probs.Row(b)
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			p[j] = float32(e)
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range p {
+			p[j] = float32(float64(p[j]) * inv)
+		}
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		// Clamp away from log(0); 1e-45 is below the smallest float32
+		// subnormal, so any nonzero probability passes through untouched.
+		py := float64(p[y])
+		if py < 1e-45 {
+			py = 1e-45
+		}
+		loss -= math.Log(py)
+		g := grad.Row(b)
+		for j := range g {
+			g[j] = float32(float64(p[j]) * invB)
+		}
+		g[y] -= float32(invB)
+	}
+	return loss * invB, grad, probs
+}
+
+// Accuracy32 returns the fraction of rows whose argmax logit matches the
+// label, with the same strict-greater tie-breaking as Accuracy.
+func Accuracy32(logits *tensor.Tensor32, labels []int) float64 {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: Accuracy32 shape mismatch %v vs %d labels", logits.Shape, len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for b := range labels {
+		row := logits.Row(b)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,91 @@
+package nn
+
+import "fmt"
+
+// Mirror32 builds a float32 shadow of a float64 network: one Layer32 per
+// Layer, positionally 1:1 (so SeedStep derivation keys line up), with
+// identical hyperparameters and zeroed weights — call AssignParams32 to
+// load them. It returns nil if the network contains a layer kind without
+// a float32 mirror; callers treat nil as "stay on the float64 path",
+// which keeps an unmirrorable architecture working instead of failing.
+func Mirror32(src *Sequential) *Sequential32 {
+	layers := make([]Layer32, len(src.Layers))
+	for i, l := range src.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			layers[i] = NewDense32(t.In, t.Out)
+		case *Conv2D:
+			layers[i] = NewConv2D32(t.Geom, t.OutC)
+		case *ReLU:
+			layers[i] = NewReLU32(t.dim)
+		case *Tanh:
+			layers[i] = NewTanh32(t.dim)
+		case *Sigmoid:
+			layers[i] = NewSigmoid32(t.dim)
+		case *Dropout:
+			// The source's stream is only the standalone fallback; local
+			// training rebases it through SeedStep before every use.
+			layers[i] = NewDropout32(t.dim, t.P, t.rng)
+		case *MaxPool2:
+			layers[i] = NewMaxPool232(t.C, t.H, t.W)
+		case *AvgPool2:
+			layers[i] = NewAvgPool232(t.C, t.H, t.W)
+		default:
+			return nil
+		}
+	}
+	return NewSequential32(layers...)
+}
+
+// AssignParams32 loads the float64 network's parameters into its float32
+// mirror, rounding each scalar once. The two networks must come from
+// Mirror32 (same layer structure); it panics on a tensor count or size
+// mismatch.
+func AssignParams32(dst *Sequential32, src *Sequential) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic(fmt.Sprintf("nn: AssignParams32 tensor count %d vs %d", len(dp), len(sp)))
+	}
+	for i, p := range sp {
+		d := dp[i]
+		if d.Size() != p.Size() {
+			panic(fmt.Sprintf("nn: AssignParams32 tensor %d size %d vs %d", i, d.Size(), p.Size()))
+		}
+		for j, v := range p.Data {
+			d.Data[j] = float32(v)
+		}
+	}
+}
+
+// CopyParams64 writes the float32 mirror's parameters back into the
+// float64 network (the inverse of AssignParams32; widening is exact).
+func CopyParams64(dst *Sequential, src *Sequential32) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic(fmt.Sprintf("nn: CopyParams64 tensor count %d vs %d", len(dp), len(sp)))
+	}
+	for i, p := range sp {
+		d := dp[i]
+		if d.Size() != p.Size() {
+			panic(fmt.Sprintf("nn: CopyParams64 tensor %d size %d vs %d", i, d.Size(), p.Size()))
+		}
+		for j, v := range p.Data {
+			d.Data[j] = float64(v)
+		}
+	}
+}
+
+// FlattenParams32Into writes the float32 network's parameters into dst
+// in FlattenParams layer order without allocating. dst must have length
+// exactly s.NumParams(). Returns dst.
+func FlattenParams32Into(s *Sequential32, dst []float32) []float32 {
+	if len(dst) != s.NumParams() {
+		panic(fmt.Sprintf("nn: FlattenParams32Into length %d, want %d", len(dst), s.NumParams()))
+	}
+	off := 0
+	for _, p := range s.Params() {
+		copy(dst[off:off+p.Size()], p.Data)
+		off += p.Size()
+	}
+	return dst
+}

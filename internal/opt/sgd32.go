@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"fmt"
+
+	"fedclust/internal/tensor"
+)
+
+// SGD32 is the float32 mirror of SGD: stochastic gradient descent with
+// optional classical momentum and L2 weight decay over float32 tensors.
+// Hyperparameters stay float64 (they come from the same LocalConfig as
+// the float64 path) and are rounded once per Step, so a reconfigured
+// optimizer behaves identically to a fresh one.
+type SGD32 struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    []*tensor.Tensor32
+}
+
+// NewSGD32 constructs a float32 SGD optimizer with NewSGD's validation.
+func NewSGD32(lr, momentum, weightDecay float64) *SGD32 {
+	s := &SGD32{}
+	s.Reconfigure(lr, momentum, weightDecay)
+	return s
+}
+
+// Reconfigure updates the hyper-parameters in place, keeping any
+// velocity buffers.
+func (s *SGD32) Reconfigure(lr, momentum, weightDecay float64) {
+	if lr <= 0 {
+		panic(fmt.Sprintf("opt: learning rate must be positive, got %v", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("opt: momentum %v out of [0,1)", momentum))
+	}
+	if weightDecay < 0 {
+		panic(fmt.Sprintf("opt: weight decay must be non-negative, got %v", weightDecay))
+	}
+	s.LR, s.Momentum, s.WeightDecay = lr, momentum, weightDecay
+}
+
+// Step applies one update to params given aligned grads:
+//
+//	v ← μ·v + (g + λ·w);  w ← w - η·v
+//
+// On first use it lazily allocates velocity buffers matching the params.
+func (s *SGD32) Step(params, grads []*tensor.Tensor32) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))
+	}
+	if s.Momentum > 0 && (s.velocity == nil || len(s.velocity) != len(params)) {
+		s.velocity = make([]*tensor.Tensor32, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New32(p.Shape...)
+		}
+	}
+	lr := float32(s.LR)
+	mom := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for i, p := range params {
+		g := grads[i]
+		if !p.SameShape(g) {
+			panic(fmt.Sprintf("opt: param %d shape %v != grad shape %v", i, p.Shape, g.Shape))
+		}
+		if s.Momentum > 0 {
+			v := s.velocity[i]
+			if !v.SameShape(p) {
+				v = tensor.New32(p.Shape...)
+				s.velocity[i] = v
+			}
+			for j := range p.Data {
+				eff := g.Data[j] + wd*p.Data[j]
+				v.Data[j] = mom*v.Data[j] + eff
+				p.Data[j] -= lr * v.Data[j]
+			}
+		} else {
+			for j := range p.Data {
+				eff := g.Data[j] + wd*p.Data[j]
+				p.Data[j] -= lr * eff
+			}
+		}
+	}
+}
+
+// Reset zeroes momentum state in place, so a reset-and-reuse cycle
+// allocates nothing and is bit-equivalent to a fresh optimizer.
+func (s *SGD32) Reset() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+}
+
+// AddProximal32 adds the FedProx proximal gradient μ·(w - w_ref) to
+// grads, mirroring AddProximal with a float32 reference vector.
+func AddProximal32(params, grads []*tensor.Tensor32, ref []float32, mu float64) {
+	if mu < 0 {
+		panic(fmt.Sprintf("opt: proximal mu must be non-negative, got %v", mu))
+	}
+	if mu == 0 {
+		return
+	}
+	mu32 := float32(mu)
+	off := 0
+	for i, p := range params {
+		g := grads[i]
+		if off+p.Size() > len(ref) {
+			panic(fmt.Sprintf("opt: proximal ref too short: need %d, have %d", off+p.Size(), len(ref)))
+		}
+		for j := range p.Data {
+			g.Data[j] += mu32 * (p.Data[j] - ref[off+j])
+		}
+		off += p.Size()
+	}
+	if off != len(ref) {
+		panic(fmt.Sprintf("opt: proximal ref length %d, params total %d", len(ref), off))
+	}
+}

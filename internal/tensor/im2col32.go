@@ -1,0 +1,75 @@
+package tensor
+
+import "fmt"
+
+// Im2Col32Into is the float32 mirror of Im2ColInto: it unrolls a single
+// CHW image (flat slice of length InC*InH*InW) into a flat destination
+// of length OutH*OutW × InC*KH*KW, one receptive-field row per output
+// pixel, zero-padding out-of-range taps.
+func Im2Col32Into(img []float32, g ConvGeom, dst []float32) {
+	g.Validate()
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col32 image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(dst) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Im2Col32 dst length %d, want %d", len(dst), outH*outW*rowLen))
+	}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := dst[(oy*outW+ox)*rowLen:][:rowLen]
+			di := 0
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = img[chanBase+iy*g.InW+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im32Into is the float32 mirror of Col2ImInto: the adjoint of
+// Im2Col32Into, scattering the columns gradient back into image space.
+// img accumulates and must be pre-zeroed by the caller if a fresh
+// gradient is wanted.
+func Col2Im32Into(grad []float32, g ConvGeom, img []float32) {
+	g.Validate()
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im32 image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(grad) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im32 grad length %d, want %d", len(grad), outH*outW*rowLen))
+	}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			src := grad[(oy*outW+ox)*rowLen:][:rowLen]
+			si := 0
+			for c := 0; c < g.InC; c++ {
+				chanBase := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.Stride + ky - g.Pad
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							img[chanBase+iy*g.InW+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"fedclust/internal/sched"
 )
@@ -40,12 +41,37 @@ func MatMulInto(dst, a, b *Tensor) {
 	}
 }
 
+// cachedProcs caches runtime.GOMAXPROCS(0) so the splitRows gate — on
+// the hot path of every matmul, parallel or not — costs one atomic load
+// instead of a runtime call. refreshProcs re-reads the live value inside
+// parallelRows after a successful executor acquire (off the per-call hot
+// path), so a mid-process GOMAXPROCS change is picked up at the next
+// parallel region; the lag is harmless because the partitioning never
+// affects results, only which path computes them.
+var cachedProcs atomic.Int32
+
+// procsHint returns the cached GOMAXPROCS value, reading the runtime
+// only on first use.
+func procsHint() int {
+	if p := cachedProcs.Load(); p > 0 {
+		return int(p)
+	}
+	return refreshProcs()
+}
+
+// refreshProcs re-reads GOMAXPROCS from the runtime and updates the cache.
+func refreshProcs() int {
+	p := runtime.GOMAXPROCS(0)
+	cachedProcs.Store(int32(p))
+	return p
+}
+
 // splitRows reports whether an m-row product of `work` multiply-adds is
 // worth spreading across the executor. Small products — the per-batch
 // products inside a training step — stay on the serial kernels, which
 // perform no scheduling work and no allocations.
 func splitRows(m, work int) bool {
-	return work >= parallelThreshold && runtime.GOMAXPROCS(0) >= 2 && m >= 2
+	return work >= parallelThreshold && procsHint() >= 2 && m >= 2
 }
 
 // rowsKernel computes rows [lo, hi) of one matmul variant. The three
@@ -96,7 +122,7 @@ func parallelRows(m int, kernel rowsKernel, dst, a, b *Tensor) bool {
 		return false
 	}
 	defer p.Release()
-	width := runtime.GOMAXPROCS(0)
+	width := refreshProcs()
 	if width > m {
 		width = m
 	}

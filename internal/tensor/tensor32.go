@@ -1,0 +1,108 @@
+package tensor
+
+import "fmt"
+
+// Tensor32 is the float32 mirror of Tensor: a dense row-major array of
+// arbitrary rank backing the SIMD-friendly compute path. The float64
+// Tensor stays the golden reference (DESIGN.md §10); Tensor32 exists so
+// the hot training loops can run at twice the arithmetic density with
+// half the memory traffic, under the same explicit-shape discipline.
+type Tensor32 struct {
+	// Shape holds the extent of each dimension; it must not be mutated
+	// after construction (Reshape returns a new header instead).
+	Shape []int
+	// Data is the flat backing storage of length prod(Shape).
+	Data []float32
+}
+
+// New32 returns a zero-filled float32 tensor of the given shape.
+func New32(shape ...int) *Tensor32 {
+	return &Tensor32{Shape: append([]int(nil), shape...), Data: make([]float32, prod(shape))}
+}
+
+// FromSlice32 wraps data in a tensor of the given shape. The slice is
+// used directly (not copied); it panics if len(data) != prod(shape).
+func FromSlice32(data []float32, shape ...int) *Tensor32 {
+	if len(data) != prod(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor32{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor32) Clone() *Tensor32 {
+	c := New32(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Size returns the total number of elements.
+func (t *Tensor32) Size() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor32) Rank() int { return len(t.Shape) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor32) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor32) SameShape(o *Tensor32) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a new tensor header sharing t's storage with a new shape.
+// It panics if the element counts differ.
+func (t *Tensor32) Reshape(shape ...int) *Tensor32 {
+	if prod(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor32{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor32) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor32) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Row returns a view (shared storage) of row i of a rank-2 tensor.
+func (t *Tensor32) Row(i int) []float32 {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row requires a rank-2 tensor")
+	}
+	cols := t.Shape[1]
+	return t.Data[i*cols : (i+1)*cols]
+}
+
+// AddScaled accumulates t += s·o elementwise through the float32 axpy
+// kernel. Shapes must match.
+func (t *Tensor32) AddScaled(o *Tensor32, s float32) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	axpy32(t.Data, o.Data, s)
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor32) String() string {
+	if len(t.Data) > 64 {
+		return fmt.Sprintf("Tensor32%v[%d elems]", t.Shape, len(t.Data))
+	}
+	return fmt.Sprintf("Tensor32%v%v", t.Shape, t.Data)
+}

@@ -1,0 +1,99 @@
+package transport_test
+
+// Float32-dtype federation: the spec's dtype knob must put every node on
+// the float32 compute path, and a networked run must stay bit-identical
+// to the in-process float32 engine path. Under the Float32 codec this
+// exercises the node's zero-convert fast path (trained shadow → wire
+// frame with no float64 round-trip): the downlink rounds the master
+// weights to float32 exactly once — the same rounding the in-process
+// path applies when loading its shadow — and the uplink carries
+// float32-representable values losslessly, so "lossy codec" becomes
+// bit-exact end to end.
+
+import (
+	"testing"
+	"time"
+
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/transport"
+	"fedclust/internal/wire"
+)
+
+// runTCP32 is runTCP with the float32 dtype in the spec and a chosen
+// wire codec.
+func runTCP32(t *testing.T, trainer fl.Trainer, k int, codec wire.Codec) *fl.Result {
+	t.Helper()
+	coord, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	spec := goldenSpec(77)
+	spec.DType = "float32"
+	specBytes, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startNodes(t, coord.Addr(), k)
+	nodes, err := coord.AcceptNodes(k, 6, specBytes, codec, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := buildGolden(t, 77)
+	env.DType = fl.Float32
+	fleet := transport.FleetOf(len(env.Clients), nodes)
+	env.Remote = fleet
+	res := trainer.Run(env)
+	if err := fleet.Close(); err != nil {
+		t.Errorf("fleet close: %v", err)
+	}
+	wait()
+	return res
+}
+
+func TestTCPFloat32DTypeEquivalence(t *testing.T) {
+	for _, c := range []struct {
+		name    string
+		trainer func() fl.Trainer
+	}{
+		// FedAvg's full-parameter rounds ride the zero-convert fast path
+		// under the Float32 codec; FedClust adds the warmup's final-layer
+		// extraction, which must keep taking the slow path.
+		{"FedAvg", func() fl.Trainer { return methods.FedAvg{} }},
+		{"FedClust", func() fl.Trainer { return &core.FedClust{} }},
+	} {
+		refEnv := buildGolden(t, 77)
+		refEnv.DType = fl.Float32
+		want := learningFingerprint(c.trainer().Run(refEnv))
+
+		res := runTCP32(t, c.trainer(), 2, wire.Float32)
+		if got := learningFingerprint(res); got != want {
+			t.Errorf("%s over float32-dtype TCP (Float32 codec) drifted from in-process float32\n got: %s\nwant: %s",
+				c.name, got, want)
+		}
+	}
+}
+
+// TestSpecDTypeValidation pins the spec-side dtype contract: valid names
+// build environments with the right path, junk is rejected before any
+// allocation.
+func TestSpecDTypeValidation(t *testing.T) {
+	for name, want := range map[string]fl.DType{"": fl.Float64, "float64": fl.Float64, "float32": fl.Float32} {
+		s := goldenSpec(5)
+		s.DType = name
+		env, err := s.Build()
+		if err != nil {
+			t.Fatalf("dtype %q: %v", name, err)
+		}
+		if env.DType != want {
+			t.Errorf("dtype %q built env dtype %v, want %v", name, env.DType, want)
+		}
+	}
+	s := goldenSpec(5)
+	s.DType = "float16"
+	if _, err := s.Build(); err == nil {
+		t.Error("spec with dtype float16 built without error")
+	}
+}

@@ -100,6 +100,16 @@ func appendUpdateOK(dst []byte, reqID uint32, codec wire.Codec, vec []float64) [
 	return wire.EncodeInto(dst, codec, vec)
 }
 
+// appendUpdateOK32 is appendUpdateOK for a producer that already holds
+// the update as float32 (the float32 training path): the Float32 frame
+// is encoded without the float64 round-trip, bit-identical to the slow
+// path (see wire.EncodeFloat32Into).
+func appendUpdateOK32(dst []byte, reqID uint32, vec []float32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, reqID)
+	dst = append(dst, statusOK)
+	return wire.EncodeFloat32Into(dst, vec)
+}
+
 // appendUpdateErr appends a failed MsgUpdate body: id, status, u16
 // message length, message.
 func appendUpdateErr(dst []byte, reqID uint32, msg string) []byte {

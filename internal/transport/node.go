@@ -62,6 +62,7 @@ func NewService(env *fl.Env) *Service {
 	s.slots = make(chan *slot, w)
 	for i := 0; i < w; i++ {
 		sl := &slot{out: make([]float64, s.numParams)}
+		sl.scratch.DType = env.DType
 		if i == 0 {
 			sl.model = ref // reuse the reference model instead of rebuilding
 		}
@@ -105,9 +106,19 @@ func (s *Service) Execute(req *fl.RemoteRequest, out []float64) error {
 
 // run trains a slot on the request and extracts the selected vector into
 // out, which the caller has already sized via outLen (the selector is
-// valid and len(out) matches it). Every failure is an error, never a
-// panic — requests may arrive off the wire.
+// valid and len(out) matches it).
 func (s *Service) run(sl *slot, req *fl.RemoteRequest, out []float64) error {
+	if err := s.train(sl, req); err != nil {
+		return err
+	}
+	s.extract(sl, req.Layer, out)
+	return nil
+}
+
+// train validates the request and runs the local pass on the slot's
+// model, leaving the trained parameters in place for extraction. Every
+// failure is an error, never a panic — requests may arrive off the wire.
+func (s *Service) train(sl *slot, req *fl.RemoteRequest) error {
 	if req.Client < 0 || req.Client >= len(s.env.Clients) {
 		return fmt.Errorf("transport: client %d outside population of %d", req.Client, len(s.env.Clients))
 	}
@@ -123,15 +134,20 @@ func (s *Service) run(sl *slot, req *fl.RemoteRequest, out []float64) error {
 	nn.LoadParams(sl.model, req.Start)
 	s.env.ClientRngInto(&sl.rng, req.Client, req.Round)
 	sl.scratch.LocalUpdate(sl.model, s.env.Clients[req.Client].Train, req.Cfg, &sl.rng)
-	switch req.Layer {
+	return nil
+}
+
+// extract writes the selected vector of the slot's trained model into
+// out (already sized via outLen).
+func (s *Service) extract(sl *slot, layer int, out []float64) {
+	switch layer {
 	case fl.FullParams:
 		nn.FlattenParamsInto(sl.model, out)
 	case fl.FinalLayer:
 		copy(out, nn.FinalLayerVector(sl.model))
 	default:
-		copy(out, nn.LayerParamVector(sl.model, req.Layer))
+		copy(out, nn.LayerParamVector(sl.model, layer))
 	}
-	return nil
 }
 
 // ServeConn runs the node side of the protocol on an established
@@ -198,8 +214,19 @@ func (s *Service) Serve(conn net.Conn) (bye bool, err error) {
 					n, err := s.outLen(req.Layer)
 					if err != nil {
 						runErr = err
-					} else if runErr = s.run(sl, &req, sl.out[:n]); runErr == nil {
-						buf = appendUpdateOK(buf, m.ReqID, codec, sl.out[:n])
+					} else if runErr = s.train(sl, &req); runErr == nil {
+						// Zero-convert fast path: when the local pass ran in
+						// float32 and the reply is a Float32 full-parameter
+						// frame, encode straight from the trained shadow —
+						// bit-identical to widening and re-rounding, minus
+						// both conversions.
+						if v32, ok := sl.scratch.Params32(); ok &&
+							codec == wire.Float32 && req.Layer == fl.FullParams {
+							buf = appendUpdateOK32(buf, m.ReqID, v32)
+						} else {
+							s.extract(sl, req.Layer, sl.out[:n])
+							buf = appendUpdateOK(buf, m.ReqID, codec, sl.out[:n])
+						}
 					}
 				}
 				if runErr != nil {

@@ -39,6 +39,12 @@ type Spec struct {
 	Rounds    int            `json:"rounds"`
 	EvalEvery int            `json:"eval_every"`
 	Local     fl.LocalConfig `json:"local"`
+	// DType selects the numeric compute path every node runs ("",
+	// "float64", or "float32"; empty keeps the float64 default). It rides
+	// the spec rather than each train request so the whole federation
+	// agrees on one path per run — the per-request wire codec stays an
+	// independent knob.
+	DType string `json:"dtype,omitempty"`
 }
 
 // Spec size ceilings: generous for anything this simulator trains,
@@ -111,6 +117,9 @@ func (s *Spec) check() error {
 	if err := s.Local.Check(); err != nil {
 		return fmt.Errorf("transport: spec local config: %w", err)
 	}
+	if _, err := fl.ParseDType(s.DType); err != nil {
+		return fmt.Errorf("transport: spec dtype: %w", err)
+	}
 	return nil
 }
 
@@ -151,6 +160,7 @@ func (s *Spec) Build() (env *fl.Env, err error) {
 	dims = append(dims, s.Dataset.C*s.Dataset.H*s.Dataset.W)
 	dims = append(dims, s.Hidden...)
 	dims = append(dims, s.Dataset.Classes)
+	dtype, _ := fl.ParseDType(s.DType) // validated in check
 	env = &fl.Env{
 		Clients:   clients,
 		Factory:   func(r *rng.Rng) *nn.Sequential { return nn.MLP(r, dims...) },
@@ -158,6 +168,7 @@ func (s *Spec) Build() (env *fl.Env, err error) {
 		Local:     s.Local,
 		Seed:      s.Seed,
 		EvalEvery: s.EvalEvery,
+		DType:     dtype,
 	}
 	env.Validate()
 	return env, nil

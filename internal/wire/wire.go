@@ -97,8 +97,12 @@ func EncodeInto(dst []byte, c Codec, vec []float64) []byte {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(lo))
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(scale))
 		for _, v := range vec {
+			// The range is finite (rangeOf skips non-finite values), so
+			// degenerate inputs clamp deterministically: -Inf and NaN to
+			// the bottom byte — !(q > 0) is the NaN-safe form of q < 0 —
+			// and +Inf to the top.
 			q := math.Round((v - lo) / scale)
-			if q < 0 {
+			if !(q > 0) {
 				q = 0
 			}
 			if q > 255 {
@@ -108,6 +112,23 @@ func EncodeInto(dst []byte, c Codec, vec []float64) []byte {
 		}
 	default:
 		panic(fmt.Sprintf("wire: unknown codec %d", uint8(c)))
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[start:]))
+	return out
+}
+
+// EncodeFloat32Into appends a Float32 frame built directly from float32
+// values, bit-identical to EncodeInto(dst, Float32, widened): widening a
+// float32 to float64 and rounding back is the identity, so a producer
+// that already holds float32 (the float32 training path's shadow
+// parameters) can skip both conversions — a true zero-convert fast path,
+// not a different encoding.
+func EncodeFloat32Into(dst []byte, vec []float32) []byte {
+	start := len(dst)
+	out := append(dst, byte(magic>>8), byte(magic&0xff), byte(Float32), 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(vec)))
+	for _, v := range vec {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
 	}
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[start:]))
 	return out
@@ -207,12 +228,20 @@ func MaxError(c Codec, vec []float64) float64 {
 	return m
 }
 
+// rangeOf returns the finite min/max of vec. NaN and ±Inf are excluded
+// so the Quant8 (min, scale) header always holds finite values and a
+// decoded vector is always finite, whatever the input; with no finite
+// value at all, both bounds are 0.
 func rangeOf(vec []float64) (lo, hi float64) {
-	if len(vec) == 0 {
-		return 0, 0
-	}
-	lo, hi = vec[0], vec[0]
-	for _, v := range vec[1:] {
+	seen := false
+	for _, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if !seen {
+			lo, hi, seen = v, v, true
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
