@@ -16,6 +16,7 @@
 //	ablation-layer   A1 — cluster recovery per weight layer
 //	ablation-linkage A2 — FedClust under each HC linkage
 //	stragglers       H1 — system heterogeneity: stragglers, dropouts, staleness
+//	hostile          R1 — byzantine clients, churn, drift × robust aggregation
 //	serve            networked federation: run rounds as the coordinator
 //	join             networked federation: serve local training as a node
 //	status           query a running coordinator's HTTP control plane
@@ -33,6 +34,15 @@
 //	-deadline D       virtual round deadline in nominal local-pass units
 //	-straggler-frac F fraction of clients drawn into the slow cohort
 //	-dropouts a,b,c   per-round dropout rates swept
+//
+// Hostile-world flags (hostile):
+//
+//	-attack K          byzantine behavior: none, label-noise, sign-flip, garbage, mixed
+//	-byzantine-frac l  comma-separated attacker-cohort fractions swept
+//	-churn F           fraction of clients that join or leave mid-training
+//	-drift-frac F      fraction of clients whose distribution drifts
+//	-drift-round N     round at which drifted clients switch distribution
+//	-aggregator l      comma-separated server strategies: mean, trimmed, median, krum
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 
 	"fedclust/internal/experiments"
 	"fedclust/internal/fl"
+	"fedclust/internal/scenario"
 )
 
 func main() {
@@ -69,6 +80,13 @@ func main() {
 	deadline := fs.Float64("deadline", 1, "virtual round deadline in nominal local-pass units (stragglers)")
 	stragglerFrac := fs.Float64("straggler-frac", 0.3, "fraction of clients in the slow cohort (stragglers)")
 	dropouts := fs.String("dropouts", "0,0.1,0.3,0.5", "comma-separated per-round dropout rates (stragglers)")
+	attackFlag := fs.String("attack", "sign-flip", "byzantine behavior: none, label-noise, sign-flip, garbage, mixed (hostile)")
+	alphaFlag := fs.Float64("alpha", 0, "Dirichlet concentration override for the hostile population, 0 = experiment default Dir(1) (hostile)")
+	byzFracs := fs.String("byzantine-frac", "0,0.1,0.2,0.3", "comma-separated attacker-cohort fractions swept (hostile)")
+	churnFrac := fs.Float64("churn", 0, "fraction of clients that join or leave mid-training (hostile)")
+	driftFrac := fs.Float64("drift-frac", 0, "fraction of clients whose distribution drifts (hostile)")
+	driftRound := fs.Int("drift-round", 0, "round at which drifted clients switch distribution (hostile)")
+	aggregators := fs.String("aggregator", "mean,trimmed,median,multi-krum", "comma-separated server aggregation strategies swept (hostile)")
 	addr := fs.String("addr", ":7171", "coordinator address (serve: listen; join: dial)")
 	nodesN := fs.Int("nodes", 1, "node processes to wait for before training (serve)")
 	codec := fs.String("codec", "float64", "wire codec for parameter frames: float64, float32, quant8 (serve)")
@@ -152,6 +170,9 @@ func main() {
 		// aggregators; an explicit -methods overrides it.
 		runStragglers(*quick, *seed, *scenarioOn, *deadline, *stragglerFrac,
 			parseFloats(*dropouts), explicitMethods(fs, *methodsFlag), *csvPath)
+	case "hostile":
+		runHostile(*quick, *seed, *attackFlag, *alphaFlag, parseFloats(*byzFracs), *churnFrac,
+			*driftFrac, *driftRound, splitList(*aggregators), explicitMethods(fs, *methodsFlag), *csvPath)
 	default:
 		fmt.Fprintf(os.Stderr, "fedsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -198,12 +219,14 @@ experiments:
   ablation-selector A3: automatic cluster-count rules
   ablation-compression A4: lossy upload codecs
   stragglers       H1: system heterogeneity (stragglers, dropouts, staleness)
+  hostile          R1: byzantine clients, churn, drift x robust aggregation
   serve            run federated rounds as a network coordinator
   join             serve local training as a node of a coordinator
   status           query a running coordinator's control plane
 
 flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N, -dtype float64|float32
 scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c
+hostile flags: -attack k, -byzantine-frac a,b,c, -churn F, -drift-frac F, -drift-round N, -aggregator a,b,c
 transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id, -rejoin s
 checkpoint flags (serve): -checkpoint path, -checkpoint-every N, -resume path, -control addr
 status flags: -addr host:port (the -control address), -trigger-checkpoint`)
@@ -273,6 +296,85 @@ func runStragglers(quick bool, seed uint64, scenarioOn bool, deadline, straggler
 	}
 	opts.Progress = os.Stdout
 	res := experiments.RunStragglers(opts)
+	fmt.Println()
+	res.Render(os.Stdout)
+	fmt.Println()
+	for _, c := range res.ShapeChecks() {
+		fmt.Println(c)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		header, rows := res.CSV()
+		if err := experiments.WriteCSV(f, header, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+}
+
+func runHostile(quick bool, seed uint64, attackName string, alpha float64, byzFracs []float64,
+	churn, driftFrac float64, driftRound int, aggList, methodList []string, csvPath string) {
+	fmt.Println("== R1: hostile world — byzantine clients, churn, drift ==")
+	attack, err := scenario.ParseAttack(attackName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(2)
+	}
+	if alpha < 0 {
+		fmt.Fprintf(os.Stderr, "fedsim: negative Dirichlet concentration %v\n", alpha)
+		os.Exit(2)
+	}
+	opts := experiments.DefaultHostileOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	opts.Attack = attackName
+	if alpha > 0 {
+		opts.Alpha = alpha
+	}
+	if len(byzFracs) > 0 {
+		opts.ByzantineFracs = byzFracs
+	}
+	opts.ChurnFrac, opts.DriftFrac, opts.DriftRound = churn, driftFrac, driftRound
+	if len(aggList) > 0 {
+		opts.Aggregators = aggList
+	}
+	if len(methodList) > 0 {
+		opts.Methods = methodList
+	}
+	// Validate every swept scenario configuration through
+	// scenario.Config.Check before training starts (checkNumericFlags
+	// style): a typo'd fraction fails in milliseconds with a clear error,
+	// not as a panic buried mid-sweep. The churn horizon mirrors what
+	// RunHostile will use — the workload's round count.
+	horizon := experiments.PaperWorkload(opts.Dataset).Rounds
+	if quick {
+		horizon = experiments.QuickWorkload(opts.Dataset).Rounds
+	}
+	for _, f := range opts.ByzantineFracs {
+		cfg := scenario.Config{
+			ByzantineFrac: f, Attack: attack,
+			ChurnFrac: churn, ChurnHorizon: horizon,
+			DriftFrac: driftFrac, DriftRound: driftRound,
+		}
+		if err := cfg.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(2)
+		}
+		for _, a := range opts.Aggregators {
+			if _, err := fl.NewAggregator(a, f); err != nil {
+				fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+	opts.Progress = os.Stdout
+	res := experiments.RunHostile(opts)
 	fmt.Println()
 	res.Render(os.Stdout)
 	fmt.Println()

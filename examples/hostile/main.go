@@ -1,0 +1,80 @@
+// Hostile: training while a byzantine cohort attacks the round — and the
+// robust aggregators that defend it.
+//
+// The hostile layer of internal/scenario gives a seeded fraction of
+// clients an attack profile. Sign-flippers train honestly and then report
+// the *reflected* model (start - (out - start)): exactly the update that
+// pulls the average away from convergence. The server's only lever is its
+// combine rule: the plain weighted mean trusts everyone; trimmed-mean
+// drops the per-coordinate extremes; coordinate-median ignores outliers
+// entirely; Krum picks the update most surrounded by its peers. All of it
+// stays on the same determinism contract as the rest of the stack — the
+// attacker cohort, the corrupted bytes, and the final accuracy are a pure
+// function of the seed.
+//
+//	go run ./examples/hostile
+package main
+
+import (
+	"fmt"
+
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/scenario"
+)
+
+func main() {
+	const seed = 7
+	cfg := data.SynthFMNIST(seed)
+	cfg.TrainPerClass, cfg.TestPerClass = 120, 40
+	train, test := data.Generate(cfg)
+
+	build := func() *fl.Env {
+		r := rng.New(seed)
+		clients := fl.BuildDirichletClients(train, test, 10, 0.5, r.Derive(0x57a))
+		return &fl.Env{
+			Clients: clients,
+			Factory: func(fr *rng.Rng) *nn.Sequential {
+				return nn.LeNet5(fr, cfg.C, cfg.H, cfg.W, cfg.Classes, 0.5)
+			},
+			Rounds: 8,
+			Local:  fl.LocalConfig{Epochs: 2, BatchSize: 32, LR: 0.02, Momentum: 0.5},
+			Seed:   seed,
+		}
+	}
+
+	const byzFrac = 0.2
+	fmt.Printf("%d clients, %.0f%% sign-flip attackers, FedAvg under each defense\n\n",
+		10, 100*byzFrac)
+	fmt.Printf("%-22s  %-8s\n", "aggregator", "FinalAcc")
+	for _, name := range append([]string{"mean (benign run)"}, fl.AggregatorNames...) {
+		env := build()
+		aggName := name
+		if name != "mean (benign run)" {
+			model := scenario.New(scenario.Config{
+				ByzantineFrac: byzFrac,
+				Attack:        scenario.AttackSignFlip,
+			}, seed, len(env.Clients))
+			env.Participation.Scenario = model
+		} else {
+			aggName = "mean"
+		}
+		agg, err := fl.NewAggregator(aggName, byzFrac)
+		if err != nil {
+			panic(err)
+		}
+		env.Aggregator = agg
+		res := methods.FedAvg{}.Run(env)
+		fmt.Printf("%-22s  %6.2f%%\n", name, 100*res.FinalAcc)
+	}
+
+	fmt.Println("\nThe undefended mean hands the sign-flippers a veto: two attackers'")
+	fmt.Println("reflected updates cancel two honest ones and drag the global model")
+	fmt.Println("backwards. The robust rules pay a small benign-world premium for")
+	fmt.Println("refusing to average the extremes — and under attack they recover")
+	fmt.Println("nearly all of the benign accuracy. Sweep the full frontier with:")
+	fmt.Println("\n\tgo run ./cmd/fedsim hostile -quick")
+}

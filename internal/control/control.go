@@ -54,6 +54,15 @@ type Status struct {
 	MeanLoss  float64 `json:"mean_loss"`
 
 	Checkpoints int `json:"checkpoints"` // snapshots emitted so far
+
+	// Defense counters from the robust-aggregation layer (hostile-world
+	// runs): Masked* counts uplinks dropped for non-finite values,
+	// Suspects* the inputs the robust aggregator excluded from its
+	// combines. Last* is the most recent round, Total* the whole run.
+	MaskedLast    int `json:"masked_last"`
+	MaskedTotal   int `json:"masked_total"`
+	SuspectsLast  int `json:"suspects_last"`
+	SuspectsTotal int `json:"suspects_total"`
 }
 
 // Stragglers is the /stragglers histogram snapshot.
@@ -158,6 +167,17 @@ func (t *Tracker) ObserveRoundEnd(round, reported int, comm *fl.CommStats) {
 	}
 }
 
+// ObserveDefense implements fl.DefenseObserver: the engine reports each
+// round's defensive tallies before ObserveRoundEnd.
+func (t *Tracker) ObserveDefense(round, masked, suspects int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.status
+	s.MaskedLast, s.SuspectsLast = masked, suspects
+	s.MaskedTotal += masked
+	s.SuspectsTotal += suspects
+}
+
 // ObserveEval implements fl.RoundObserver.
 func (t *Tracker) ObserveEval(round int, meanAcc, meanLoss float64) {
 	t.mu.Lock()
@@ -214,3 +234,4 @@ func grow(s []int, idx int) []int {
 }
 
 var _ fl.RoundObserver = (*Tracker)(nil)
+var _ fl.DefenseObserver = (*Tracker)(nil)

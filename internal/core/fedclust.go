@@ -333,6 +333,14 @@ func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(w
 	for w := range scratches {
 		scratches[w].DType = env.DType
 	}
+	// Hostile scenarios reach the warmup too: label-noise attackers train
+	// their features on poisoned data, wire-level attackers corrupt the
+	// uploaded layer vector (a byzantine client lies in the clustering
+	// round as well). This is where FedClust's isolation property comes
+	// from — corrupted features cluster together, away from honest
+	// cohorts. Drift never applies at warmup (round 0 predates DriftRound
+	// by construction; Config.Check enforces DriftRound ≥ 0).
+	hs, hostileOn := env.Participation.Scenario.(fl.HostileScenario)
 	env.ParallelClientsWorker(n, func(w, i int) {
 		if rt := env.Remote; rt != nil && rt.Owns(i) {
 			vec := make([]float64, len(initLayer))
@@ -353,13 +361,26 @@ func collectPartialWeights(env *fl.Env, cfg Config, init []float64, model func(w
 			}
 			errs[i] = err
 			if err == nil {
+				if hostileOn {
+					hs.CorruptUpdate(i, WarmupRound, vec, initLayer)
+				}
 				features[i] = FeatureFromVector(vec, initLayer, cfg)
 			}
 			return
 		}
 		m := model(w)
 		nn.LoadParams(m, init)
-		scratches[w].LocalUpdate(m, env.Clients[i].Train, local, env.ClientRng(i, WarmupRound))
+		train := env.Clients[i].Train
+		if hostileOn {
+			train = hs.TrainData(i, 0, train)
+		}
+		scratches[w].LocalUpdate(m, train, local, env.ClientRng(i, WarmupRound))
+		if hostileOn {
+			vec := layerVector(m, cfg) // fresh copy; corrupting it never touches the pooled model
+			hs.CorruptUpdate(i, WarmupRound, vec, initLayer)
+			features[i] = FeatureFromVector(vec, initLayer, cfg)
+			return
+		}
 		features[i] = FeatureOf(m, initLayer, cfg)
 	})
 	for i, err := range errs {

@@ -14,6 +14,42 @@ const (
 	secClusteredMeta   = "clustered/meta"
 )
 
+// secRobustAgg records the aggregation strategy a checkpoint was written
+// under (FNV-1a of its identity name), so a resume under a different
+// defense is refused — the restored server state embeds every past
+// combine's choice of strategy.
+const secRobustAgg = "robust/agg"
+
+// aggIdentity hashes the run's aggregation strategy name for the
+// checkpoint identity section.
+func aggIdentity(a fl.Aggregator) int64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range []byte(fl.AggregatorName(a)) {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return int64(h)
+}
+
+// verifyAggIdentity refuses a resume whose aggregation strategy differs
+// from the checkpoint's. Checkpoints that predate the robust layer carry
+// no section and resume only under the plain mean.
+func (d *RoundDriver) verifyAggIdentity(c *fl.Checkpoint) {
+	if !c.HasInts(secRobustAgg) {
+		if d.Env.Aggregator != nil {
+			panic(fmt.Sprintf("engine: resume: checkpoint written under plain mean aggregation but run uses %s", fl.AggregatorName(d.Env.Aggregator)))
+		}
+		return
+	}
+	got, err := c.Ints(secRobustAgg, 1)
+	if err != nil {
+		panic("engine: resume: " + err.Error())
+	}
+	if got[0] != aggIdentity(d.Env.Aggregator) {
+		panic(fmt.Sprintf("engine: resume: checkpoint aggregation strategy differs from run's %s", fl.AggregatorName(d.Env.Aggregator)))
+	}
+}
+
 // resume validates the checkpoint against this run and restores the
 // accumulated Result and the method's server state. It returns the round
 // index the loop continues from. Mismatches panic: cmd-level callers are
@@ -24,6 +60,7 @@ func (d *RoundDriver) resume(c *fl.Checkpoint) int {
 	if err := c.Matches(d.Env, d.Res.Method, d.NumParams); err != nil {
 		panic("engine: resume: " + err.Error())
 	}
+	d.verifyAggIdentity(c)
 	if d.Hooks.LoadState == nil {
 		panic(fmt.Sprintf("engine: %s cannot resume: method has no LoadState hook", d.Res.Method))
 	}
@@ -57,6 +94,7 @@ func (d *RoundDriver) maybeCheckpoint(round int) {
 	}
 	c := fl.NewCheckpoint(d.Env, d.Res.Method, round+1, d.NumParams, plan.SpecHash)
 	c.CaptureResult(d.Res)
+	c.SetInts(secRobustAgg, []int64{aggIdentity(d.Env.Aggregator)})
 	d.Hooks.SaveState(c)
 	plan.Sink(c)
 	if obs := d.Env.Observer; obs != nil {

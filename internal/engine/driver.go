@@ -24,6 +24,7 @@ package engine
 import (
 	"fmt"
 
+	"fedclust/internal/data"
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
@@ -82,6 +83,33 @@ type ClientCtx struct {
 func (c *ClientCtx) VisitRng() *rng.Rng {
 	c.Env.ClientRngInto(&c.rng, c.Client, c.Round)
 	return &c.rng
+}
+
+// TrainData returns the dataset this visit trains on: the client's
+// training split, or the hostile scenario's poisoned/drifted view of it
+// when one is in force (fl.HostileScenario). Custom Local hooks that
+// train in-process should read data through it so label-noise attackers
+// and drifted clients behave under every method.
+func (c *ClientCtx) TrainData() *data.Dataset {
+	base := c.Env.Clients[c.Client].Train
+	if hs, ok := c.Env.Participation.Scenario.(fl.HostileScenario); ok {
+		return hs.TrainData(c.Client, c.Round, base)
+	}
+	return base
+}
+
+// CorruptUplink applies this visit's byzantine uplink corruption (if the
+// scenario is hostile and the client is a wire-level attacker) to Out in
+// place, using Start as the round's reference point. DefaultLocal calls
+// it after training — covering the remote-trainer path too, where it
+// models the byzantine node corrupting its own uplink — so custom Local
+// hooks that bypass DefaultLocal must call it themselves after filling
+// Out. Returns whether the vector was modified.
+func (c *ClientCtx) CorruptUplink() bool {
+	if hs, ok := c.Env.Participation.Scenario.(fl.HostileScenario); ok {
+		return hs.CorruptUpdate(c.Client, c.Round, c.Out, c.Start)
+	}
+	return false
 }
 
 // LocalConfig returns the local-training configuration for this visit:
@@ -272,15 +300,20 @@ func DefaultLocal(ctx *ClientCtx) {
 		ctx.WireUp += up
 		if err != nil {
 			ctx.Failed = true
+			return
 		}
+		// A byzantine node corrupts its own uplink: the coordinator
+		// receives the corrupted vector off the wire and must survive it.
+		ctx.CorruptUplink()
 		return
 	}
 	if ctx.Scratch == nil {
 		ctx.Scratch = &fl.TrainScratch{DType: ctx.Env.DType}
 	}
 	nn.LoadParams(ctx.Model, ctx.Start)
-	ctx.Scratch.LocalUpdate(ctx.Model, ctx.Env.Clients[ctx.Client].Train, ctx.LocalConfig(), ctx.VisitRng())
+	ctx.Scratch.LocalUpdate(ctx.Model, ctx.TrainData(), ctx.LocalConfig(), ctx.VisitRng())
 	nn.FlattenParamsInto(ctx.Model, ctx.Out)
+	ctx.CorruptUplink()
 }
 
 // Gather collects the reported clients' local vectors and aggregation
@@ -316,6 +349,97 @@ func (d *RoundDriver) GatherCluster(assign []int, id int) (vecs [][]float64, ws 
 	}
 	d.es.gatherVecs, d.es.gatherWs = vecs, ws
 	return vecs, ws
+}
+
+// Combine folds gathered vectors into dst through the environment's
+// aggregation strategy. With no Aggregator configured it is the plain
+// weighted model average — bit-exactly the historical path, where dst is
+// simply overwritten.
+//
+// With a robust Aggregator, dst doubles as the combine's starting point
+// (the model the cohort was broadcast — the previous global or cluster
+// model; semi-async callers pass a zeroed buffer because their inputs
+// are already deltas) and the strategy runs in UPDATE space:
+// dst ← dst + Aggregate({vecs_i − dst}). Mathematically the weighted
+// mean commutes with this shift, but order statistics do not — a
+// sign-flipped model 2·start − trained sits well inside the honest
+// models' spread under non-IID data, while its *update* is the exact
+// negation of an honest step, which trims, medians, and Krum distances
+// separate cleanly. This is also the space the robust-aggregation
+// literature (and our semi-async staleness paths) already operate in.
+// The suspect count accumulates into the round's defense tally. Every
+// method-side combine of gathered uplinks should run through it.
+func (d *RoundDriver) Combine(dst []float64, vecs [][]float64, ws []float64) {
+	agg := d.Env.Aggregator
+	if agg == nil {
+		fl.WeightedAverageInto(dst, vecs, ws)
+		return
+	}
+	es := d.es
+	n, dim := len(vecs), len(dst)
+	if len(es.deltaFlat) < n*dim {
+		es.deltaFlat = make([]float64, n*dim)
+		es.deltas = make([][]float64, 0, n)
+		es.deltaOut = make([]float64, dim)
+	}
+	if len(es.deltaOut) < dim {
+		es.deltaOut = make([]float64, dim)
+	}
+	deltas := es.deltas[:0]
+	for i, v := range vecs {
+		dv := es.deltaFlat[i*dim : (i+1)*dim]
+		for j := range dv {
+			dv[j] = v[j] - dst[j]
+		}
+		deltas = append(deltas, dv)
+	}
+	es.deltas = deltas
+	out := es.deltaOut[:dim]
+	es.suspects += agg.Aggregate(out, deltas, ws)
+	for j := range dst {
+		dst[j] += out[j]
+	}
+}
+
+// DefenseCounts returns the current round's defensive tallies: uplinks
+// masked for non-finite values and inputs the robust aggregator excluded
+// across the round's combines so far. Valid during the round's hooks.
+func (d *RoundDriver) DefenseCounts() (masked, suspects int) {
+	return d.es.masked, d.es.suspects
+}
+
+// maskNonFinite scans the uplinks produced this round and marks any
+// containing NaN or ±Inf as failed — a single poisoned vector would
+// otherwise spread through every average (and through FedAvgStale's
+// cache for rounds after). The scan covers exactly the invited clients
+// whose visit ran: offline clients and sync dropouts never wrote their
+// slot, and semi-async late arrivals (lag > 0) must be caught now,
+// before the buffer path consumes them in a later round.
+func (d *RoundDriver) maskNonFinite(invited []int) {
+	es := d.es
+	for _, i := range invited {
+		if es.failMask[i] {
+			continue // transport already lost it
+		}
+		if es.scenOn && (es.lag[i] < 0 || (!d.Async && es.done[i] == 0)) {
+			continue // no work happened; the stale slot is never consumed
+		}
+		if !finiteVec(d.Locals[i]) {
+			es.failMask[i] = true
+			es.masked++
+		}
+	}
+}
+
+// finiteVec reports whether every element is finite. x−x is 0 for every
+// finite x and NaN for NaN and ±Inf, so one subtraction covers both.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if x-x != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ReportWeight is client i's aggregation weight for the current round:
@@ -409,6 +533,7 @@ func (d *RoundDriver) RunRound(round int) {
 	for i := range es.failMask {
 		es.failMask[i] = false
 	}
+	es.masked, es.suspects = 0, 0
 	if es.remoteOn {
 		// Remote rounds account traffic after the parallel phase
 		// (foldRemote): whether a client's volume is measured off the
@@ -427,6 +552,7 @@ func (d *RoundDriver) RunRound(round int) {
 	es.curInvited, es.curStarts, es.curRound = invited, starts, round
 	env.ParallelClientsWorker(len(invited), es.clientTask)
 	es.curStarts = nil
+	d.maskNonFinite(invited)
 	if es.remoteOn {
 		reported = d.foldRemote(round, invited, reported)
 	} else {
@@ -452,6 +578,9 @@ func (d *RoundDriver) RunRound(round int) {
 	es.curInvited = nil
 	d.Res.Comm.EndRound(round + 1)
 	if obs != nil {
+		if dobs, ok := obs.(fl.DefenseObserver); ok {
+			dobs.ObserveDefense(round, es.masked, es.suspects)
+		}
 		obs.ObserveRoundEnd(round, len(reported), &d.Res.Comm)
 	}
 
@@ -488,7 +617,7 @@ func (d *RoundDriver) RunClusteredFedAvg(labels []int, k int, models [][]float64
 		for c := 0; c < k; c++ {
 			vecs, ws := d.GatherCluster(labels, c)
 			if len(vecs) > 0 {
-				fl.WeightedAverageInto(models[c], vecs, ws)
+				d.Combine(models[c], vecs, ws)
 			}
 		}
 	}

@@ -61,6 +61,19 @@ type envState struct {
 	// folded in. A plain round never reads the mask.
 	maskOn bool
 
+	// Per-round defense tallies: uplinks masked for non-finite values and
+	// inputs the robust Aggregator excluded across the round's combines.
+	// Reset by RunRound, read by DefenseCounts and the DefenseObserver.
+	masked   int
+	suspects int
+
+	// Robust-combine scratch (Combine): the per-input deltas from the
+	// combine's starting point, backed by one flat arena, plus the
+	// aggregated delta. Lazily sized to the largest (n, dim) seen.
+	deltaFlat []float64
+	deltas    [][]float64
+	deltaOut  []float64
+
 	// Remote-execution state (client-indexed), live when the environment
 	// carries a RemoteTrainer. remoteMask caches Owns per client;
 	// wireDown/wireUp collect each visit's measured transport bytes;

@@ -461,3 +461,53 @@ func TestRunStragglersControlSkipsSweep(t *testing.T) {
 		t.Fatal("control run should stop after the first rate")
 	}
 }
+
+func TestRunHostileTiny(t *testing.T) {
+	skipInShort(t)
+	opts := DefaultHostileOptions()
+	opts.Quick = true
+	opts.ByzantineFracs = []float64{0, 0.3}
+	opts.Aggregators = []string{"mean", "median"}
+	opts.Methods = []string{"FedAvg"}
+	res := RunHostile(opts)
+	for _, a := range opts.Aggregators {
+		for _, f := range opts.ByzantineFracs {
+			c, ok := res.Cells["FedAvg"][a][f]
+			if !ok {
+				t.Fatalf("missing cell %s @ %v", a, f)
+			}
+			if c.Acc <= 0 || c.Acc > 1 || c.HonestAcc <= 0 || c.HonestAcc > 1 {
+				t.Fatalf("%s byz=%v acc %v honest %v", a, f, c.Acc, c.HonestAcc)
+			}
+			if f == 0 && c.HonestAcc != c.Acc {
+				t.Fatalf("benign point: HonestAcc %v != Acc %v", c.HonestAcc, c.Acc)
+			}
+		}
+	}
+	if res.Byzantines[0.3] < 1 {
+		t.Fatalf("no attackers drawn at 0.3: %v", res.Byzantines)
+	}
+	// The drawn cohort mask backs the honest metric: its count must match.
+	n := 0
+	for _, b := range res.byzMask[0.3] {
+		if b {
+			n++
+		}
+	}
+	if n != res.Byzantines[0.3] {
+		t.Fatalf("mask marks %d byzantine, Byzantines says %d", n, res.Byzantines[0.3])
+	}
+	checks := res.ShapeChecks()
+	if len(checks) != 2 {
+		t.Fatalf("expected 2 shape checks (median recovery + mean degrade), got %d: %v", len(checks), checks)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if out := buf.String(); !strings.Contains(out, "acc@byz=0.3") || !strings.Contains(out, "honest") {
+		t.Fatalf("render missing sweep columns:\n%s", out)
+	}
+	header, rows := res.CSV()
+	if len(header) != 5 || len(rows) != len(opts.Aggregators)*len(opts.ByzantineFracs) {
+		t.Fatalf("CSV shape %d×%d", len(header), len(rows))
+	}
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/scenario"
+)
+
+// HostileOptions configures the hostile-world sweep (experiment R1): the
+// accuracy-vs-byzantine-fraction frontier for clustered vs global
+// aggregation under each robust aggregator.
+type HostileOptions struct {
+	Dataset string
+	// Alpha overrides the population's Dirichlet concentration (0 = the
+	// workload default, the paper's Dir(0.1)). The default sweep uses 1.0:
+	// the robustness experiment isolates the attack variable, and under
+	// extreme heterogeneity a rare class's only informative update is also
+	// the statistical outlier at its coordinates, so every order-statistic
+	// defense pays a benign-accuracy cost that confounds the frontier
+	// (DESIGN.md §11 records that tension; sweep -alpha 0.1 to see it).
+	Alpha float64
+	// ByzantineFracs are the attacker-cohort fractions swept; include 0
+	// for the benign baseline every recovery ratio is measured against.
+	ByzantineFracs []float64
+	// Attack selects the byzantine behavior (scenario.ParseAttack names:
+	// label-noise, sign-flip, garbage, mixed).
+	Attack string
+	// AttackScale is the garbage-attack magnitude (0 = default).
+	AttackScale float64
+	// LabelNoiseRate is the label-noise flip probability (0 = default).
+	LabelNoiseRate float64
+	// ChurnFrac/ChurnHorizon draw a churn cohort joining/leaving inside
+	// the horizon (0 horizon = the run's round count).
+	ChurnFrac    float64
+	ChurnHorizon int
+	// DriftFrac/DriftRound schedule concept drift for a client cohort.
+	DriftFrac  float64
+	DriftRound int
+	// Aggregators are the server strategies swept (fl.NewAggregator
+	// names). Each strategy's assumed byzantine fraction is
+	// max(sweptFrac, Byzantines/n): the scenario draws exactly ⌊frac·n⌋
+	// attackers, so the drawn term only matters as a guard — the defense
+	// is always told at least the truth.
+	Aggregators []string
+	Methods     []string
+	Seed        uint64
+	Quick       bool
+	Progress    io.Writer
+}
+
+// DefaultHostileOptions sweeps a sign-flip cohort 0 → 30% under the four
+// aggregation strategies, FedClust vs the global baselines.
+func DefaultHostileOptions() HostileOptions {
+	return HostileOptions{
+		Dataset:        "fmnist",
+		Alpha:          1,
+		ByzantineFracs: []float64{0, 0.1, 0.2, 0.3},
+		Attack:         "sign-flip",
+		Aggregators:    []string{"mean", "trimmed", "median", "multi-krum"},
+		Methods:        []string{"FedAvg", "FedClust"},
+		Seed:           1,
+	}
+}
+
+// HostileCell is one (method, aggregator, byzantine-fraction) outcome.
+// Acc averages every client; HonestAcc averages the non-byzantine ones —
+// the metric a defense can actually defend. An attacker's own accuracy is
+// out of any aggregator's hands (its uplink is hostile by construction;
+// under sign-flip its classes are actively anti-learned), so the
+// recovery claims are about HonestAcc, while the Acc/HonestAcc gap
+// measures how much damage stays confined to the attackers themselves.
+type HostileCell struct {
+	Acc            float64
+	HonestAcc      float64
+	FormationRound int
+}
+
+// HostileResult holds the sweep grid plus the drawn cohort shapes.
+type HostileResult struct {
+	Fracs       []float64
+	Aggregators []string
+	Methods     []string
+	Attack      string
+	// Cells[method][aggregator][frac] is the final personalized accuracy.
+	Cells map[string]map[string]map[float64]HostileCell
+	// Byzantines[frac] is the attacker head-count drawn at that fraction.
+	Byzantines map[float64]int
+	Clients    int
+
+	// byzMask[frac][i] marks client i byzantine at that sweep point;
+	// benignPerClient[method] is the per-client accuracy of the benign
+	// (frac 0) run, the honest-subset baseline ShapeChecks measures
+	// recovery against.
+	byzMask         map[float64][]bool
+	benignPerClient map[string][]float64
+}
+
+// honestMean averages accs over the clients mask marks honest. A nil
+// mask (benign sweep point) averages everyone.
+func honestMean(accs []float64, mask []bool) float64 {
+	var sum float64
+	n := 0
+	for i, a := range accs {
+		if mask != nil && mask[i] {
+			continue
+		}
+		sum += a
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunHostile trains every method under every aggregation strategy at
+// every byzantine fraction, all on one seeded hostile scenario family —
+// the accuracy-vs-byzantine-fraction frontier behind the FedClust
+// isolation claim (DESIGN.md §11).
+func RunHostile(opts HostileOptions) *HostileResult {
+	res := &HostileResult{
+		Fracs: opts.ByzantineFracs, Aggregators: opts.Aggregators,
+		Methods: opts.Methods, Attack: opts.Attack,
+		Cells:           map[string]map[string]map[float64]HostileCell{},
+		Byzantines:      map[float64]int{},
+		byzMask:         map[float64][]bool{},
+		benignPerClient: map[string][]float64{},
+	}
+	for _, m := range opts.Methods {
+		res.Cells[m] = map[string]map[float64]HostileCell{}
+		for _, a := range opts.Aggregators {
+			res.Cells[m][a] = map[float64]HostileCell{}
+		}
+	}
+	var w Workload
+	if opts.Quick {
+		w = QuickWorkload(opts.Dataset)
+	} else {
+		w = PaperWorkload(opts.Dataset)
+	}
+	if opts.Alpha > 0 {
+		w.Alpha = opts.Alpha
+	}
+	env := BuildEnv(w, opts.Seed)
+	res.Clients = len(env.Clients)
+	horizon := opts.ChurnHorizon
+	if horizon == 0 {
+		horizon = w.Rounds
+	}
+	attack, err := scenario.ParseAttack(opts.Attack)
+	if err != nil {
+		panic(err.Error())
+	}
+	for _, frac := range opts.ByzantineFracs {
+		env.Participation.Scenario = nil
+		var mask []bool
+		if frac > 0 || opts.ChurnFrac > 0 || opts.DriftFrac > 0 {
+			model := scenario.New(scenario.Config{
+				ByzantineFrac:  frac,
+				Attack:         attack,
+				AttackScale:    opts.AttackScale,
+				LabelNoiseRate: opts.LabelNoiseRate,
+				ChurnFrac:      opts.ChurnFrac,
+				ChurnHorizon:   horizon,
+				DriftFrac:      opts.DriftFrac,
+				DriftRound:     opts.DriftRound,
+			}, opts.Seed, len(env.Clients))
+			env.Participation.Scenario = model
+			res.Byzantines[frac] = model.Byzantines()
+			mask = make([]bool, len(env.Clients))
+			for i, p := range model.Profiles() {
+				mask[i] = p.Byzantine
+			}
+			res.byzMask[frac] = mask
+		}
+		// The defense is sized to the drawn cohort when that exceeds the
+		// nominal rate (see the Aggregators field comment).
+		assumed := frac
+		if drawn := float64(res.Byzantines[frac]) / float64(len(env.Clients)); drawn > assumed {
+			assumed = drawn
+		}
+		if assumed >= 0.5 {
+			assumed = 0.49 // NewAggregator's domain; a majority is unrecoverable anyway
+		}
+		for _, aggName := range opts.Aggregators {
+			agg, err := fl.NewAggregator(aggName, assumed)
+			if err != nil {
+				panic(err.Error())
+			}
+			env.Aggregator = agg
+			for _, m := range opts.Methods {
+				r := NewTrainer(m, w).Run(env)
+				res.Cells[m][aggName][frac] = HostileCell{
+					Acc:            r.FinalAcc,
+					HonestAcc:      honestMean(r.PerClientAcc, mask),
+					FormationRound: r.ClusterFormationRound,
+				}
+				if frac == 0 {
+					if _, ok := res.benignPerClient[m]; !ok {
+						res.benignPerClient[m] = append([]float64(nil), r.PerClientAcc...)
+					}
+				}
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "  byz=%-4v agg=%-10s %-10s acc=%.2f%% honest=%.2f%%\n",
+						frac, aggName, m, 100*r.FinalAcc, 100*honestMean(r.PerClientAcc, mask))
+				}
+			}
+		}
+	}
+	env.Aggregator = nil
+	return res
+}
+
+// Render prints one accuracy grid (method × fraction) per aggregator.
+func (r *HostileResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "attack: %s over %d clients", r.Attack, r.Clients)
+	for _, f := range r.Fracs {
+		if n, ok := r.Byzantines[f]; ok && f > 0 {
+			fmt.Fprintf(w, "  byz@%v=%d", f, n)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "cells: final personalized accuracy %, all clients / honest (non-byzantine) clients")
+	for _, a := range r.Aggregators {
+		fmt.Fprintf(w, "\naggregator: %s\n", a)
+		header := []string{"Method"}
+		for _, f := range r.Fracs {
+			header = append(header, fmt.Sprintf("acc@byz=%v", f))
+		}
+		tab := NewTable(header...)
+		for _, m := range r.Methods {
+			row := []string{m}
+			for _, f := range r.Fracs {
+				c, ok := r.Cells[m][a][f]
+				switch {
+				case !ok:
+					row = append(row, "-")
+				case r.Byzantines[f] > 0:
+					row = append(row, fmt.Sprintf("%.1f/%.1f", 100*c.Acc, 100*c.HonestAcc))
+				default:
+					row = append(row, fmt.Sprintf("%.1f", 100*c.Acc))
+				}
+			}
+			tab.AddRow(row...)
+		}
+		tab.Render(w)
+	}
+}
+
+// CSV flattens the frontier for WriteCSV.
+func (r *HostileResult) CSV() (header []string, rows [][]string) {
+	header = []string{"method", "aggregator", "byzantine_frac", "acc_pct", "honest_acc_pct"}
+	for _, m := range r.Methods {
+		for _, a := range r.Aggregators {
+			for _, f := range r.Fracs {
+				c, ok := r.Cells[m][a][f]
+				if !ok {
+					continue
+				}
+				rows = append(rows, []string{m, a, fmt.Sprintf("%v", f),
+					fmt.Sprintf("%.2f", 100*c.Acc), fmt.Sprintf("%.2f", 100*c.HonestAcc)})
+			}
+		}
+	}
+	return header, rows
+}
+
+// benign returns a method's benign-baseline accuracy: its frac-0 cell
+// under the plain mean (every aggregator equals the mean at fraction 0,
+// so the first aggregator that has the cell serves).
+func (r *HostileResult) benign(method string) (float64, bool) {
+	for _, a := range append([]string{"mean"}, r.Aggregators...) {
+		if c, ok := r.Cells[method][a][0]; ok {
+			return c.Acc, true
+		}
+	}
+	return 0, false
+}
+
+// benignHonest is the honest-subset baseline at sweep point frac: the
+// benign run's per-client accuracies averaged over exactly the clients
+// that stay honest at frac — the same clients the attacked HonestAcc
+// averages, so recovery is a like-for-like ratio.
+func (r *HostileResult) benignHonest(method string, frac float64) (float64, bool) {
+	accs, ok := r.benignPerClient[method]
+	if !ok || len(accs) == 0 {
+		return 0, false
+	}
+	return honestMean(accs, r.byzMask[frac]), true
+}
+
+// ShapeChecks verifies the robustness claims the sweep exists to back.
+// Recovery is checked at the 20% design point (the largest attacked
+// fraction ≤ 0.2): each robust aggregator keeps the honest clients
+// within 90% of their own benign accuracy there. 20% is the
+// conventional byzantine demonstration rate, and the point these
+// defenses are specified for — order statistics need the attackers to
+// be a clear minority of the gather (trimming 2·⌊0.3·10⌋ of 10 inputs
+// keeps 4; Krum scoring needs n−f−2 honest-dominated neighbors), so
+// larger fractions remain on the rendered frontier as the stress
+// regime rather than a pass/fail claim. Degradation of the undefended
+// mean is checked at the harshest fraction, where it is most visible.
+func (r *HostileResult) ShapeChecks() []string {
+	var out []string
+	check := func(ok bool, format string, args ...any) {
+		s := "PASS"
+		if !ok {
+			s = "FAIL"
+		}
+		out = append(out, fmt.Sprintf("[%s] ", s)+fmt.Sprintf(format, args...))
+	}
+	atk := 0.0    // harshest attacked fraction: the degradation point
+	design := 0.0 // largest attacked fraction ≤ 0.2: the recovery point
+	for _, f := range r.Fracs {
+		if f > atk {
+			atk = f
+		}
+		if f > design && f <= 0.2+1e-9 {
+			design = f
+		}
+	}
+	if atk == 0 {
+		return out
+	}
+	if design == 0 {
+		design = atk
+	}
+	for _, m := range r.Methods {
+		base, ok := r.benign(m)
+		if !ok || base == 0 {
+			continue
+		}
+		honestBase, ok := r.benignHonest(m, design)
+		if !ok || honestBase == 0 {
+			honestBase = base
+		}
+		for _, a := range r.Aggregators {
+			if a == "mean" {
+				continue
+			}
+			c, ok := r.Cells[m][a][design]
+			if !ok {
+				continue
+			}
+			check(c.HonestAcc >= 0.9*honestBase,
+				"%s + %s keeps honest clients >=90%% of benign at byz=%v (%.1f%% vs %.1f%%)",
+				m, a, design, 100*c.HonestAcc, 100*honestBase)
+		}
+		// The degradation claim is about the run as a whole: the undefended
+		// mean lets the attack in, so the all-client accuracy falls. (The
+		// honest subset is the wrong lens here — FedClust's isolation keeps
+		// honest clusters near-benign even undefended, which is the
+		// isolation claim, not a failed attack.)
+		if c, ok := r.Cells[m]["mean"][atk]; ok {
+			check(c.Acc < base,
+				"%s + undefended mean degrades at byz=%v (%.1f%% vs benign %.1f%%)",
+				m, atk, 100*c.Acc, 100*base)
+		}
+	}
+	return out
+}

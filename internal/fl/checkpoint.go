@@ -217,6 +217,9 @@ func (c *Checkpoint) IntSlice(name string, want int) ([]int, error) {
 // HasVec reports whether a named float64 section is present.
 func (c *Checkpoint) HasVec(name string) bool { _, ok := c.vecs[name]; return ok }
 
+// HasInts reports whether a named int64 section is present.
+func (c *Checkpoint) HasInts(name string) bool { _, ok := c.ints[name]; return ok }
+
 // Result snapshot section names.
 const (
 	secResScalars  = "result/scalars"

@@ -56,6 +56,11 @@ type Env struct {
 	// Observer, when non-nil, receives live round progress (the control
 	// plane's feed). nil costs nothing.
 	Observer RoundObserver
+	// Aggregator, when non-nil, replaces the plain weighted average at
+	// every server-side combine seam (global, per-cluster, and the
+	// semi-async cache/buffer folds) with a robust strategy — see
+	// Aggregator. nil keeps the bit-exact historical fast path.
+	Aggregator Aggregator
 
 	// shared is the lazily created per-Env scratch holder (see
 	// EnvShared); behind a pointer so Env stays copyable.

@@ -27,3 +27,15 @@ type RoundObserver interface {
 	// round is the completed-round count the checkpoint resumes at.
 	ObserveCheckpoint(round int)
 }
+
+// DefenseObserver is an optional extension of RoundObserver for the
+// robust-aggregation layer. The engine type-asserts Env.Observer to it
+// after each round's aggregation, so observers that predate the hostile
+// pack keep working unchanged.
+type DefenseObserver interface {
+	// ObserveDefense fires once per round (before ObserveRoundEnd) with
+	// the round's defensive tallies: masked is the number of uplinks
+	// dropped for non-finite values, suspects the number of inputs the
+	// robust aggregator excluded across this round's combines.
+	ObserveDefense(round, masked, suspects int)
+}

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 
+	"fedclust/internal/data"
 	"fedclust/internal/rng"
 )
 
@@ -27,6 +28,28 @@ type RoundScenario interface {
 	// and done == 0 ⇒ lag != 0 (a client that finished nothing by the
 	// deadline is either late or offline).
 	Outcome(client, round, epochs int) (done, lag int)
+}
+
+// HostileScenario extends RoundScenario with adversarial behavior: data
+// poisoning / concept drift (TrainData) and byzantine uplink corruption
+// (CorruptUpdate). The engine type-asserts Participation.Scenario to
+// this interface, so benign scenario models are untouched. The same
+// purity rules apply — both methods must be deterministic functions of
+// their arguments (plus the scenario seed), never of call order, worker
+// id, or wall clock; CorruptUpdate must not allocate.
+type HostileScenario interface {
+	RoundScenario
+	// CorruptUpdate applies the client's byzantine uplink corruption to
+	// out in place, given the round's broadcast starting point (start may
+	// be nil when no reference vector exists, e.g. warmup feature
+	// collection before a broadcast). Returns whether out was modified;
+	// benign and data-poisoning clients return false.
+	CorruptUpdate(client, round int, out, start []float64) bool
+	// TrainData returns the dataset the client actually trains on this
+	// round — base itself for benign stationary clients, a poisoned or
+	// drifted view otherwise. Views must be stable: the same (client,
+	// phase) always yields identical contents.
+	TrainData(client, round int, base *data.Dataset) *data.Dataset
 }
 
 // Participation controls per-round client sampling and failure injection.

@@ -65,6 +65,10 @@ func (s FedAvgStale) Run(env *fl.Env) *fl.Result {
 		cachedAt[i] = -1
 	}
 	sum := make([]float64, d.NumParams)
+	// Robust-mode gather scratch: the eligible cached deltas and their
+	// decayed weights, handed to the environment's Aggregator.
+	var rvecs [][]float64
+	var rws []float64
 
 	d.Hooks.Broadcast = func(round int) [][]float64 {
 		for i := range starts {
@@ -85,6 +89,39 @@ func (s FedAvgStale) Run(env *fl.Env) *fl.Result {
 		// updates. Fresh entries (age 0, decay 1) carry their partial-
 		// work-scaled weight; stale ones fade by Beta per round and are
 		// dropped past MaxStaleness.
+		if env.Aggregator != nil {
+			// Robust path: the step is the Aggregator's combine of the
+			// eligible cached deltas under the same decayed weights —
+			// a poisoned cache entry keeps steering a plain mean for
+			// MaxStaleness rounds, so the defense matters doubly here.
+			rvecs, rws = rvecs[:0], rws[:0]
+			var totalW float64
+			for i := 0; i < n; i++ {
+				if cachedAt[i] < 0 || round-cachedAt[i] > s.MaxStaleness {
+					continue
+				}
+				w := cacheW[i]
+				if age := round - cachedAt[i]; age > 0 {
+					w *= math.Pow(s.Beta, float64(age))
+				}
+				totalW += w
+				rvecs = append(rvecs, cache[i])
+				rws = append(rws, w)
+			}
+			if len(rvecs) == 0 || totalW <= 0 {
+				return
+			}
+			// Combine treats dst as the combine's starting point; the
+			// cached entries are already deltas, so the start is zero.
+			for j := range sum {
+				sum[j] = 0
+			}
+			d.Combine(sum, rvecs, rws)
+			for j := range global {
+				global[j] += sum[j]
+			}
+			return
+		}
 		var totalW float64
 		for j := range sum {
 			sum[j] = 0
@@ -226,8 +263,38 @@ func (f FedBuff) Run(env *fl.Env) *fl.Result {
 	}
 	var buffer []buffered
 	sum := make([]float64, d.NumParams)
+	// Robust-mode gather scratch for the buffered deltas.
+	var rvecs [][]float64
+	var rws []float64
 
 	flush := func() {
+		if env.Aggregator != nil {
+			// Robust path: the buffered deltas go through the Aggregator
+			// under their staleness-decayed weights, and the server steps
+			// by ServerLR times the robust combine — a garbage delta
+			// sitting in the buffer cannot own the flush.
+			rvecs, rws = rvecs[:0], rws[:0]
+			var totalW float64
+			for _, b := range buffer {
+				w := d.Weights[b.client] * math.Pow(f.Beta, float64(b.staleness))
+				totalW += w
+				rvecs = append(rvecs, pending[b.client].delta)
+				rws = append(rws, w)
+				busy[b.client] = false
+			}
+			if totalW <= 0 {
+				return
+			}
+			// The buffered entries are already deltas: zero start.
+			for j := range sum {
+				sum[j] = 0
+			}
+			d.Combine(sum, rvecs, rws)
+			for j := range global {
+				global[j] += f.ServerLR * sum[j]
+			}
+			return
+		}
 		var totalW float64
 		for j := range sum {
 			sum[j] = 0

@@ -119,7 +119,7 @@ func (c CFL) Run(env *fl.Env) *fl.Result {
 			if len(vecs) == 0 {
 				continue // every member missed the deadline this round
 			}
-			fl.WeightedAverageInto(models[id], vecs, ws)
+			d.Combine(models[id], vecs, ws)
 
 			// Split criterion on this cluster's updates.
 			meanDelta := meanOf(deltas, members)

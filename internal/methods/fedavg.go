@@ -39,7 +39,7 @@ func runGlobalModel(env *fl.Env, name string) *fl.Result {
 		// The clients read global only during the (finished) parallel
 		// phase and report into separate arena slots, so averaging in
 		// place is safe.
-		fl.WeightedAverageInto(global, vecs, ws)
+		d.Combine(global, vecs, ws)
 	}
 	d.Hooks.Served = func(int) []float64 { return global }
 	d.Hooks.SaveState = func(c *fl.Checkpoint) { c.SetVec(secGlobal, global) }

@@ -51,20 +51,27 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 	// Broadcast all K models to every client.
 	d.Hooks.DownlinkPerClient = func(int) int { return f.K * d.NumParams }
 	d.Hooks.Local = func(ctx *engine.ClientCtx) {
-		c := env.Clients[ctx.Client]
+		// The hostile view (if any): cluster selection and training both
+		// read the data the client actually holds this round.
+		train := ctx.TrainData()
 		// Pick the cluster with lowest local training loss.
 		best, bestLoss := 0, math.Inf(1)
 		for k := 0; k < f.K; k++ {
 			nn.LoadParams(ctx.Model, models[k])
-			l, _ := ctx.Scratch.Evaluate(ctx.Model, c.Train, 64)
+			l, _ := ctx.Scratch.Evaluate(ctx.Model, train, 64)
 			if l < bestLoss {
 				best, bestLoss = k, l
 			}
 		}
 		choice[ctx.Client] = best
 		nn.LoadParams(ctx.Model, models[best])
-		ctx.Scratch.LocalUpdate(ctx.Model, c.Train, ctx.LocalConfig(), ctx.VisitRng())
+		ctx.Scratch.LocalUpdate(ctx.Model, train, ctx.LocalConfig(), ctx.VisitRng())
 		nn.FlattenParamsInto(ctx.Model, ctx.Out)
+		// IFCA sets no Broadcast hook, so give the corruption its proper
+		// reference point: the cluster model the client trained from.
+		ctx.Start = models[best]
+		ctx.CorruptUplink()
+		ctx.Start = nil
 	}
 	d.Hooks.Aggregate = func(round int, reported []int) {
 		// Track when the clustering last changed (cluster-formation cost).
@@ -79,7 +86,7 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 		for k := 0; k < f.K; k++ {
 			vecs, ws := d.GatherCluster(choice, k)
 			if len(vecs) > 0 {
-				fl.WeightedAverageInto(models[k], vecs, ws)
+				d.Combine(models[k], vecs, ws)
 			}
 		}
 	}

@@ -1,0 +1,83 @@
+package transport_test
+
+// Hostile equivalence for the networked path: a byzantine node's
+// corrupted uplink must be survivable — and byte-identical to the
+// in-process hostile run. The corruption seam sits coordinator-side
+// (after the transport delivers the trained vector), so a remote
+// attacker shapes the round exactly like a local one, and the robust
+// aggregation downstream defends both the same way.
+
+import (
+	"testing"
+
+	"fedclust/internal/core"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/scenario"
+	"fedclust/internal/wire"
+)
+
+// hostileGoldenModel puts part of the six golden clients in a sign-flip
+// cohort plus a churn cohort. Only wire-level attacks (sign-flip,
+// garbage) and availability effects (churn) are modeled here: the
+// data-poisoning behaviors (label-noise, drift) rewrite the *training
+// view*, which lives with the in-process client — a remote node trains
+// on its own local data, so those attacks are out of the transport's
+// scope by design (see DESIGN.md §11).
+func hostileGoldenModel() *scenario.Model {
+	return scenario.New(scenario.Config{
+		ByzantineFrac: 0.35, Attack: scenario.AttackSignFlip,
+		ChurnFrac: 0.3, ChurnHorizon: 6,
+	}, 34, 6)
+}
+
+// TestLoopbackHostileEquivalence: the full hostile stack (byzantine
+// sign-flips, churn, drift, trimmed-mean defense) over the loopback
+// transport reproduces the in-process run bit for bit — for the global
+// baseline and for FedClust, whose warmup feature phase also sees the
+// corrupted uplinks.
+func TestLoopbackHostileEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		trainer func() fl.Trainer
+	}{
+		{"FedAvg", func() fl.Trainer { return methods.FedAvg{} }},
+		{"FedClust", func() fl.Trainer { return &core.FedClust{} }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := buildGolden(t, 77)
+			baseline.Participation.Scenario = hostileGoldenModel()
+			baseline.Aggregator = &fl.TrimmedMean{Frac: 0.35}
+			want := learningFingerprint(tc.trainer().Run(baseline))
+
+			remote := buildGolden(t, 77)
+			remote.Participation.Scenario = hostileGoldenModel()
+			remote.Aggregator = &fl.TrimmedMean{Frac: 0.35}
+			remote.Remote = loopbackFleet(t, 77, wire.Float64, 0, 6, 6)
+			got := learningFingerprint(tc.trainer().Run(remote))
+			if got != want {
+				t.Errorf("hostile run over loopback drifted from in-process\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestMixedHostileEquivalence: half the fleet remote — including
+// byzantine members on both sides of the wire — still matches the
+// all-in-process fingerprint under the Krum defense.
+func TestMixedHostileEquivalence(t *testing.T) {
+	baseline := buildGolden(t, 77)
+	baseline.Participation.Scenario = hostileGoldenModel()
+	baseline.Aggregator = &fl.Krum{Frac: 0.2, M: 3}
+	want := learningFingerprint(methods.FedAvg{}.Run(baseline))
+
+	mixed := buildGolden(t, 77)
+	mixed.Participation.Scenario = hostileGoldenModel()
+	mixed.Aggregator = &fl.Krum{Frac: 0.2, M: 3}
+	mixed.Remote = loopbackFleet(t, 77, wire.Float64, 2, 5, 6) // clients 2..4 remote
+	got := learningFingerprint(methods.FedAvg{}.Run(mixed))
+	if got != want {
+		t.Errorf("mixed hostile fleet drifted from in-process\n got: %s\nwant: %s", got, want)
+	}
+}
