@@ -156,13 +156,14 @@ func BenchmarkLinkage(b *testing.B) {
 
 func BenchmarkCompression(b *testing.B) {
 	opts := experiments.DefaultCompressionOptions()
+	opts.Methods = []string{"FedAvg"}
 	var res *experiments.CompressionResult
 	for i := 0; i < b.N; i++ {
 		res = experiments.RunCompression(opts)
 	}
 	for _, row := range res.Rows {
-		b.ReportMetric(row.ARI, row.Codec.String()+"_ARI")
-		b.ReportMetric(float64(row.UploadBytes), row.Codec.String()+"_B")
+		b.ReportMetric(row.AccPct, row.Codec.String()+"_acc")
+		b.ReportMetric(float64(row.UpBytes), row.Codec.String()+"_upB")
 	}
 }
 

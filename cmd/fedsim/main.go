@@ -27,6 +27,8 @@
 //	-seed N       root seed (default 1)
 //	-seeds a,b,c  seed list for table1 (default 1,2,3)
 //	-csv path     also write results as CSV
+//	-codec c      uplink codec: float64, float32, quant8, topk, topk-quant8
+//	-topk-frac F  sparse codecs' kept coordinate fraction (0 = 1% default)
 //
 // Scenario flags (stragglers):
 //
@@ -58,6 +60,7 @@ import (
 	"fedclust/internal/experiments"
 	"fedclust/internal/fl"
 	"fedclust/internal/scenario"
+	"fedclust/internal/wire"
 )
 
 func main() {
@@ -89,7 +92,8 @@ func main() {
 	aggregators := fs.String("aggregator", "mean,trimmed,median,multi-krum", "comma-separated server aggregation strategies swept (hostile)")
 	addr := fs.String("addr", ":7171", "coordinator address (serve: listen; join: dial)")
 	nodesN := fs.Int("nodes", 1, "node processes to wait for before training (serve)")
-	codec := fs.String("codec", "float64", "wire codec for parameter frames: float64, float32, quant8 (serve)")
+	codec := fs.String("codec", "float64", "uplink parameter codec: float64, float32, quant8, topk, topk-quant8")
+	topkFrac := fs.Float64("topk-frac", 0, "sparse codecs' kept coordinate fraction in (0,1] (0 = the 1% default)")
 	timeoutSec := fs.Float64("timeout", 60, "per-request transport deadline in seconds, 0 = none (serve)")
 	nodeName := fs.String("name", "", "node name announced to the coordinator (join; default host-pid)")
 	ckptPath := fs.String("checkpoint", "", "write checkpoints to this file (serve)")
@@ -125,6 +129,20 @@ func main() {
 	// experiments read it from BuildEnv; serve ships it in the spec so
 	// joining nodes run the same path.
 	experiments.DefaultDType = dtype
+	// Same pattern for the uplink codec: -codec topk -topk-frac 0.01 runs
+	// any in-process experiment sparsified, and serve ships the selection
+	// in the spec so nodes hold matching error-feedback state.
+	wcodec, err := wire.ParseCodec(*codec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *topkFrac < 0 || *topkFrac > 1 || math.IsNaN(*topkFrac) {
+		fmt.Fprintf(os.Stderr, "fedsim: invalid -topk-frac %v: must be in (0,1] (0 selects the default)\n", *topkFrac)
+		os.Exit(2)
+	}
+	experiments.DefaultCodec = wcodec
+	experiments.DefaultTopKFrac = *topkFrac
 
 	start := time.Now()
 	switch cmd {
@@ -147,11 +165,11 @@ func main() {
 	case "ablation-selector":
 		runSelectorAblation(*quick, *seed)
 	case "ablation-compression":
-		runCompressionAblation(*quick, *seed)
+		runCompressionAblation(*quick, *seed, *topkFrac, *csvPath)
 	case "serve":
 		// A bare `fedsim serve` runs FedAvg + FedClust; an explicit
 		// -methods narrows or widens the distributed set.
-		runServe(*quick, *seed, *rounds, *addr, *nodesN, *codec, *timeoutSec,
+		runServe(*quick, *seed, *rounds, *addr, *nodesN, *codec, *topkFrac, *timeoutSec,
 			explicitMethods(fs, *methodsFlag), serveControl{
 				CheckpointPath:  *ckptPath,
 				CheckpointEvery: *ckptEvery,
@@ -217,7 +235,7 @@ experiments:
   ablation-layer   A1: cluster recovery per weight layer
   ablation-linkage A2: FedClust under each HC linkage
   ablation-selector A3: automatic cluster-count rules
-  ablation-compression A4: lossy upload codecs
+  ablation-compression A4: accuracy vs measured bytes per uplink codec
   stragglers       H1: system heterogeneity (stragglers, dropouts, staleness)
   hostile          R1: byzantine clients, churn, drift x robust aggregation
   serve            run federated rounds as a network coordinator
@@ -225,6 +243,7 @@ experiments:
   status           query a running coordinator's control plane
 
 flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N, -dtype float64|float32
+codec flags: -codec float64|float32|quant8|topk|topk-quant8, -topk-frac F (sparse kept fraction, 0 = 1% default)
 scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropouts a,b,c
 hostile flags: -attack k, -byzantine-frac a,b,c, -churn F, -drift-frac F, -drift-round N, -aggregator a,b,c
 transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id, -rejoin s
@@ -587,16 +606,34 @@ func runSelectorAblation(quick bool, seed uint64) {
 	}
 }
 
-func runCompressionAblation(quick bool, seed uint64) {
-	fmt.Println("== A4: lossy codecs for the clustering upload ==")
+func runCompressionAblation(quick bool, seed uint64, topkFrac float64, csvPath string) {
+	fmt.Println("== A4: accuracy-vs-measured-bytes frontier of the uplink codecs ==")
 	opts := experiments.DefaultCompressionOptions()
 	opts.Quick = quick
 	opts.Seed = seed
+	if topkFrac > 0 {
+		opts.TopKFrac = topkFrac
+	}
 	opts.Progress = os.Stdout
 	res := experiments.RunCompression(opts)
 	fmt.Println()
 	res.Render(os.Stdout)
+	fmt.Println()
 	for _, c := range res.ShapeChecks() {
 		fmt.Println(c)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		header, rows := res.CSV()
+		if err := experiments.WriteCSV(f, header, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
 	}
 }

@@ -64,20 +64,6 @@ func distSpec(quick bool, seed uint64, rounds int) *transport.Spec {
 	return s
 }
 
-// parseCodec maps the -codec flag to a wire codec.
-func parseCodec(s string) (wire.Codec, error) {
-	switch strings.ToLower(s) {
-	case "", "float64":
-		return wire.Float64, nil
-	case "float32":
-		return wire.Float32, nil
-	case "quant8":
-		return wire.Quant8, nil
-	default:
-		return 0, fmt.Errorf("unknown codec %q (float64, float32, quant8)", s)
-	}
-}
-
 // distTrainer maps a method name to a trainer whose local passes route
 // through the transport (methods driving engine.DefaultLocal).
 func distTrainer(name string) (fl.Trainer, error) {
@@ -109,8 +95,8 @@ type serveControl struct {
 // method and continues it mid-schedule; with a control address it serves
 // live progress over HTTP while the rounds run.
 func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
-	codecStr string, timeoutSec float64, methodList []string, ctl serveControl) {
-	codec, err := parseCodec(codecStr)
+	codecStr string, topkFrac float64, timeoutSec float64, methodList []string, ctl serveControl) {
+	codec, err := wire.ParseCodec(codecStr)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -127,6 +113,11 @@ func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
 		}
 	}
 	spec := distSpec(quick, seed, rounds)
+	// The codec selection rides the spec so each node rebuilds the same
+	// uplink path — under sparse codecs a node owns the error-feedback
+	// residuals of exactly the clients it trains.
+	spec.Codec = codec.String()
+	spec.TopKFrac = topkFrac
 	env, err := spec.Build()
 	if err != nil {
 		fatalf("%v", err)

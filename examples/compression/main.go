@@ -1,0 +1,121 @@
+// Compression: shrinking the federated uplink with lossy codecs and
+// top-k sparsification under error feedback.
+//
+// Every round each client ships its trained parameter vector back to the
+// server. The wire layer (internal/wire) offers a ladder of uplink
+// codecs: raw float64 frames, narrowed float32, 8-bit range quantization,
+// and sparse top-k frames that keep only the coordinates that moved most
+// — with a per-client error-feedback accumulator folding everything a
+// frame dropped into the next round's upload, so nothing is ever lost,
+// only deferred. CommStats prices each visit as the exact framed message
+// a networked run would put on the wire, so the byte counts below are
+// measured volume, not an 8-bytes-per-parameter estimate.
+//
+// The example sweeps the codec ladder on one environment, then sweeps
+// the kept fraction of the sparse codec, and finally demonstrates the
+// estimate == measured contract by re-running a cell over the loopback
+// transport, where a node-side service holds the residuals and every
+// byte is accounted off real frames.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+
+	"fedclust/internal/data"
+	"fedclust/internal/fl"
+	"fedclust/internal/methods"
+	"fedclust/internal/nn"
+	"fedclust/internal/rng"
+	"fedclust/internal/transport"
+	"fedclust/internal/wire"
+)
+
+func main() {
+	const seed = 11
+	cfg := data.SynthFMNIST(seed)
+	cfg.TrainPerClass, cfg.TestPerClass = 120, 40
+	cfg.ClassSep, cfg.Noise = 0.55, 1.6 // hard enough that codec loss shows
+	train, test := data.Generate(cfg)
+
+	build := func(c wire.Codec, frac float64) *fl.Env {
+		r := rng.New(seed)
+		clients := fl.BuildDirichletClients(train, test, 10, 0.5, r.Derive(0xc0dec))
+		return &fl.Env{
+			Clients: clients,
+			Factory: func(fr *rng.Rng) *nn.Sequential {
+				return nn.MLP(fr, cfg.C*cfg.H*cfg.W, 64, 32, cfg.Classes)
+			},
+			// Error feedback needs rounds to drain what sparse frames
+			// defer: at 1% kept, the residual transient fades over tens of
+			// rounds (see DESIGN.md §12), so codecs are compared at a
+			// schedule where the frontier is about bytes, not warmup.
+			Rounds:   40,
+			Local:    fl.LocalConfig{Epochs: 2, BatchSize: 32, LR: 0.05, Momentum: 0.5},
+			Seed:     seed,
+			Codec:    c,
+			TopKFrac: frac,
+		}
+	}
+	numParams := build(wire.Float64, 0).NewModel().NumParams()
+	fmt.Printf("model: %d parameters; one dense float64 uplink = %s framed\n\n",
+		numParams, fl.FormatBytes(fl.TrainResponseBytes(wire.Float64, numParams)))
+
+	// 1. The codec ladder: same schedule, same seed, only the uplink
+	//    encoding changes.
+	fmt.Printf("%-12s %10s %10s %8s %12s\n", "codec", "uplink", "downlink", "acc", "reduction")
+	var baseUp int64
+	var baseAcc float64
+	for _, c := range []wire.Codec{wire.Float64, wire.Float32, wire.Quant8, wire.TopK, wire.TopKQuant8} {
+		res := methods.FedAvg{}.Run(build(c, 0.01))
+		if c == wire.Float64 {
+			baseUp, baseAcc = res.Comm.UpBytes, res.FinalAcc
+		}
+		fmt.Printf("%-12s %10s %10s %7.2f%% %11.1fx (Δ%+.2fpp)\n",
+			c, fl.FormatBytes(res.Comm.UpBytes), fl.FormatBytes(res.Comm.DownBytes),
+			100*res.FinalAcc, float64(baseUp)/float64(res.Comm.UpBytes),
+			100*(res.FinalAcc-baseAcc))
+	}
+
+	// 2. The sparsity dial: how little can the uplink carry before error
+	//    feedback stops hiding the loss at this schedule?
+	fmt.Printf("\ntopk-quant8 kept fraction sweep:\n")
+	for _, frac := range []float64{0.10, 0.05, 0.01, 0.005} {
+		res := methods.FedAvg{}.Run(build(wire.TopKQuant8, frac))
+		k := wire.TopKCount(numParams, frac)
+		fmt.Printf("  frac %-5g (k=%4d): uplink %9s, acc %5.2f%% (Δ%+.2fpp, %5.1fx)\n",
+			frac, k, fl.FormatBytes(res.Comm.UpBytes), 100*res.FinalAcc,
+			100*(res.FinalAcc-baseAcc), float64(baseUp)/float64(res.Comm.UpBytes))
+	}
+
+	// 3. Estimate == measured: route every client through a loopback
+	//    transport — the node-side service owns the error-feedback
+	//    residuals and each exchange is accounted at its real framed size.
+	//    The in-process run's priced bytes must match byte for byte (the
+	//    same contract TestCommEstimateMatchesLoopbackMeasured pins).
+	est := methods.FedAvg{}.Run(build(wire.TopKQuant8, 0.01))
+	renv := build(wire.TopKQuant8, 0.01)
+	fleet := transport.NewFleet(len(renv.Clients))
+	fleet.Assign(transport.NewLoopback(transport.NewService(build(wire.TopKQuant8, 0.01)), wire.TopKQuant8), 0, len(renv.Clients))
+	renv.Remote = fleet
+	meas := methods.FedAvg{}.Run(renv)
+	fmt.Printf("\nestimate vs measured (topk-quant8, frac 0.01):\n")
+	fmt.Printf("  in-process estimate: up %d B, down %d B\n", est.Comm.UpBytes, est.Comm.DownBytes)
+	fmt.Printf("  loopback measured:   up %d B, down %d B\n", meas.Comm.UpBytes, meas.Comm.DownBytes)
+	if est.Comm.UpBytes == meas.Comm.UpBytes && est.Comm.DownBytes == meas.Comm.DownBytes &&
+		est.FinalAcc == meas.FinalAcc {
+		fmt.Println("  identical, byte for byte — and the learning outcome is bit-identical too.")
+	} else {
+		fmt.Println("  MISMATCH — the honest-bytes contract is broken.")
+	}
+
+	fmt.Println("\nFloat32 halves the uplink for free. Quant8's uniform 8-bit grid is the")
+	fmt.Println("cautionary tale: it rounds both directions of a noisy task and pays")
+	fmt.Println("several points for its 8x. The sparse codecs change the regime: a 1%")
+	fmt.Println("top-k frame with 8-bit values moves >100x less uplink than raw float64,")
+	fmt.Println("and error feedback keeps every dropped coordinate flowing into later")
+	fmt.Println("rounds — on a noisy task the delayed, accumulated updates even act as a")
+	fmt.Println("mild regularizer, which is why the sparse rows land above the dense")
+	fmt.Println("baseline here once the residual transient has drained.")
+}

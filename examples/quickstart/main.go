@@ -66,5 +66,5 @@ func main() {
 		cluster.NumClusters(res.Clusters), res.Clusters)
 	fmt.Printf("cluster-formation upload: %s (vs %s for one full model per client)\n",
 		fl.FormatBytes(res.ClusterFormationUpBytes),
-		fl.FormatBytes(int64(len(clients))*int64(env.NewModel().NumParams())*fl.BytesPerParam))
+		fl.FormatBytes(int64(len(clients))*fl.CommPricing{}.UploadBytesFor(env.NewModel().NumParams())))
 }

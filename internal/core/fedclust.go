@@ -170,8 +170,12 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 	init := d.InitParams()
 	features, initLayer, downB, upB := collectPartialWeights(env, cfg, init, d.Pool().Get)
 	if downB == nil {
-		res.Comm.Download(n, d.NumParams)    // step ① broadcast
-		res.Comm.Upload(n, len(features[0])) // step ② partial upload only
+		res.Comm.Download(n, d.NumParams) // step ① broadcast
+		// Step ② uploads only the final layer, but it is still a full
+		// framed message — and it always travels dense (sparsification
+		// applies to full-parameter uplinks only), so it is charged under
+		// the dense downlink codec, never the sparse uplink pricing.
+		res.Comm.UploadDense(n, len(features[0]), res.Comm.Pricing.Down)
 	} else {
 		// Remote warmup traffic is measured off the transport; the scalar
 		// estimate covers only the clients that trained in-process.
@@ -185,7 +189,7 @@ func (f *FedClust) Run(env *fl.Env) *fl.Result {
 			up += upB[i]
 		}
 		res.Comm.Download(nLocal, d.NumParams)
-		res.Comm.Upload(nLocal, len(features[0]))
+		res.Comm.UploadDense(nLocal, len(features[0]), res.Comm.Pricing.Down)
 		res.Comm.DownloadBytes(down)
 		res.Comm.UploadBytes(up)
 	}

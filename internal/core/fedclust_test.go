@@ -87,12 +87,12 @@ func TestFedClustPartialUploadIsSmall(t *testing.T) {
 	model := env.NewModel()
 	finalLayerParams := len(nn.FinalLayerVector(model))
 	n := len(env.Clients)
-	wantRound0Up := int64(n) * int64(finalLayerParams) * fl.BytesPerParam
+	wantRound0Up := int64(n) * (fl.CommPricing{}).UploadBytesFor(finalLayerParams)
 	if res.ClusterFormationUpBytes != wantRound0Up {
-		t.Fatalf("round-0 upload = %d, want %d (final layer only)",
+		t.Fatalf("round-0 upload = %d, want %d (final layer only, framed)",
 			res.ClusterFormationUpBytes, wantRound0Up)
 	}
-	full := int64(n) * int64(model.NumParams()) * fl.BytesPerParam
+	full := int64(n) * (fl.CommPricing{}).UploadBytesFor(model.NumParams())
 	if res.ClusterFormationUpBytes >= full {
 		t.Fatal("partial upload not smaller than full model upload")
 	}

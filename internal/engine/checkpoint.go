@@ -70,6 +70,20 @@ func (d *RoundDriver) resume(c *fl.Checkpoint) int {
 	if err := d.Hooks.LoadState(c); err != nil {
 		panic("engine: resume: " + err.Error())
 	}
+	// Error-feedback residuals are part of the run's exact state: a
+	// compressed run resumed without them would re-send coordinates the
+	// original run had already fed back. The codec selection is identity,
+	// like the aggregation strategy above.
+	if d.es.ef != nil {
+		if !fl.HasEFState(c) {
+			panic("engine: resume: run uses a sparse codec but checkpoint carries no error-feedback state")
+		}
+		if err := d.es.ef.LoadFrom(c); err != nil {
+			panic("engine: resume: " + err.Error())
+		}
+	} else if fl.HasEFState(c) {
+		panic("engine: resume: checkpoint carries error-feedback state but run uses a dense codec")
+	}
 	return c.Round
 }
 
@@ -95,6 +109,9 @@ func (d *RoundDriver) maybeCheckpoint(round int) {
 	c := fl.NewCheckpoint(d.Env, d.Res.Method, round+1, d.NumParams, plan.SpecHash)
 	c.CaptureResult(d.Res)
 	c.SetInts(secRobustAgg, []int64{aggIdentity(d.Env.Aggregator)})
+	if d.es.ef != nil {
+		d.es.ef.SaveTo(c)
+	}
 	d.Hooks.SaveState(c)
 	plan.Sink(c)
 	if obs := d.Env.Observer; obs != nil {

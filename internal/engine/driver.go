@@ -28,6 +28,7 @@ import (
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
+	"fedclust/internal/wire"
 )
 
 // ClientCtx is the per-client execution context handed to the Local hook.
@@ -74,6 +75,19 @@ type ClientCtx struct {
 	// rng backs VisitRng; persistent so visits draw streams without
 	// allocating.
 	rng rng.Rng
+
+	// Uplink compression wiring (set by the engine when the environment
+	// selects a sparse codec): the shared error-feedback accumulator and
+	// this worker's scratch. nil/zero under dense codecs.
+	ef  *fl.ErrorFeedback
+	efs fl.EFScratch
+	// up and down are the effective uplink/downlink codecs (Env.Codec and
+	// Env.Codec.Downlink()); downFrame/downBuf back the encode→decode
+	// round trips of narrowDownlink and the dense-lossy uplink.
+	up        wire.Codec
+	down      wire.Codec
+	downFrame []byte
+	downBuf   []float64
 }
 
 // VisitRng returns the deterministic stream for this visit's
@@ -110,6 +124,63 @@ func (c *ClientCtx) CorruptUplink() bool {
 		return hs.CorruptUpdate(c.Client, c.Round, c.Out, c.Start)
 	}
 	return false
+}
+
+// CompressUplink runs this visit's uplink through the environment's
+// codec. Under a sparse codec, Out is rewritten in place to the exact
+// reconstruction the server will hold after decoding the sparse frame,
+// and the dropped/quantized remainder joins the client's error-feedback
+// residual for the next round. Under a lossy dense codec (Float32,
+// Quant8), Out round-trips through encode→decode — exactly what a socket
+// pair applies — with no residual carried. A no-op under Float64, for
+// failed visits, and (sparse only) for visits without a broadcast Start,
+// since sparsification is defined relative to the round's reference
+// vector. DefaultLocal calls it between training and CorruptUplink —
+// error feedback accumulates the honest update, and byzantine corruption
+// lands on what actually travels, matching the remote path where the
+// node compresses before its uplink leaves the machine. Custom Local
+// hooks that bypass DefaultLocal must call it themselves after filling
+// Out.
+func (c *ClientCtx) CompressUplink() {
+	if c.Failed {
+		return
+	}
+	if c.ef != nil {
+		if c.Start == nil {
+			return
+		}
+		c.ef.Compress(c.Client, c.Start, c.Out, &c.efs)
+		return
+	}
+	if c.up == wire.Float64 || c.up == 0 {
+		return
+	}
+	// Dense lossy uplink: quantize in place. Decoding back into Out is
+	// exact-size by construction (the frame was just encoded from it).
+	c.downFrame = wire.EncodeInto(c.downFrame[:0], c.up, c.Out)
+	if _, err := wire.DecodeInto(c.Out, c.downFrame); err != nil {
+		panic(err) // encode→decode of a valid vector cannot fail
+	}
+}
+
+// narrowDownlink returns the broadcast vector as this visit's client
+// actually receives it: Start round-tripped through the downlink codec
+// when that codec is lossy, nil when the client sees Start exactly
+// (Float64 downlink — including every sparse uplink codec, which
+// broadcasts dense). Keeping the in-process load identical to what a
+// remote node decodes off the wire is what makes mixed local/remote runs
+// bit-identical under every codec.
+func (c *ClientCtx) narrowDownlink() []float64 {
+	if c.down == wire.Float64 || c.Start == nil {
+		return nil
+	}
+	c.downFrame = wire.EncodeInto(c.downFrame[:0], c.down, c.Start)
+	var err error
+	c.downBuf, err = wire.DecodeInto(c.downBuf, c.downFrame)
+	if err != nil {
+		panic(err) // encode→decode of a valid vector cannot fail
+	}
+	return c.downBuf
 }
 
 // LocalConfig returns the local-training configuration for this visit:
@@ -219,6 +290,7 @@ type RoundDriver struct {
 func New(env *fl.Env, method string) *RoundDriver {
 	env.Validate()
 	d := &RoundDriver{Env: env, Res: &fl.Result{Method: method}}
+	d.Res.Comm.Pricing = fl.PricingFor(env.Codec, env.TopKFrac)
 	sh := env.Shared()
 	if v, ok := sh.AcquireRuntime(); ok {
 		d.sh = sh
@@ -310,9 +382,17 @@ func DefaultLocal(ctx *ClientCtx) {
 	if ctx.Scratch == nil {
 		ctx.Scratch = &fl.TrainScratch{DType: ctx.Env.DType}
 	}
-	nn.LoadParams(ctx.Model, ctx.Start)
+	// Load what the client would decode off the wire, but keep ctx.Start
+	// as the round's exact reference: CorruptUplink and the error-feedback
+	// delta are defined against the server's own copy of the broadcast.
+	start := ctx.Start
+	if narrowed := ctx.narrowDownlink(); narrowed != nil {
+		start = narrowed
+	}
+	nn.LoadParams(ctx.Model, start)
 	ctx.Scratch.LocalUpdate(ctx.Model, ctx.TrainData(), ctx.LocalConfig(), ctx.VisitRng())
 	nn.FlattenParamsInto(ctx.Model, ctx.Out)
+	ctx.CompressUplink()
 	ctx.CorruptUplink()
 }
 

@@ -100,10 +100,11 @@ func TestCommOverrides(t *testing.T) {
 	d.Hooks.UplinkPerClient = func(int) int { return 5 }
 	res := d.Run()
 	n := int64(len(env.Clients))
-	if want := n * int64(3*d.NumParams) * fl.BytesPerParam * int64(env.Rounds); res.Comm.DownBytes != want {
+	pricing := fl.CommPricing{}
+	if want := n * pricing.DownloadBytesFor(3*d.NumParams) * int64(env.Rounds); res.Comm.DownBytes != want {
 		t.Fatalf("down bytes %d, want %d", res.Comm.DownBytes, want)
 	}
-	if want := n * 5 * fl.BytesPerParam * int64(env.Rounds); res.Comm.UpBytes != want {
+	if want := n * pricing.UploadBytesFor(5) * int64(env.Rounds); res.Comm.UpBytes != want {
 		t.Fatalf("up bytes %d, want %d", res.Comm.UpBytes, want)
 	}
 }

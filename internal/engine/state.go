@@ -3,6 +3,7 @@ package engine
 import (
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
+	"fedclust/internal/wire"
 )
 
 // envState is the engine's per-environment runtime: everything a
@@ -31,6 +32,14 @@ type envState struct {
 	workers   int
 	n         int
 	numParams int
+	// codec/frac are the Env codec selection the state was built for
+	// (raw Env values, part of the cached shape — see fits). ef is the
+	// shared error-feedback accumulator under a sparse codec, nil
+	// otherwise; residuals are per-run state, reset on every rebind and
+	// then restored by resume when a checkpoint carries them.
+	codec wire.Codec
+	frac  float64
+	ef    *fl.ErrorFeedback
 
 	pool    *ModelPool
 	w0      []float64
@@ -108,10 +117,15 @@ func newEnvState(env *fl.Env) *envState {
 		env:     env,
 		workers: env.WorkerCount(),
 		n:       n,
+		codec:   env.Codec,
+		frac:    env.TopKFrac,
 		pool:    NewModelPool(env),
 	}
 	proto := es.pool.Get(0)
 	es.numParams = proto.NumParams()
+	if env.Codec.Sparse() {
+		es.ef = fl.NewErrorFeedback(env.Codec, fl.NormalizeTopKFrac(env.TopKFrac), n, es.numParams)
+	}
 	es.w0 = nn.FlattenParams(proto)
 	es.arena = make([]float64, n*es.numParams)
 	es.locals = make([][]float64, n)
@@ -125,7 +139,13 @@ func newEnvState(env *fl.Env) *envState {
 	}
 	es.ctxs = make([]*ClientCtx, es.pool.Size())
 	for w := range es.ctxs {
-		es.ctxs[w] = &ClientCtx{Env: env, Scratch: &fl.TrainScratch{DType: env.DType}}
+		es.ctxs[w] = &ClientCtx{
+			Env:     env,
+			Scratch: &fl.TrainScratch{DType: env.DType},
+			ef:      es.ef,
+			up:      env.Codec,
+			down:    env.Codec.Downlink(),
+		}
 	}
 	es.gatherVecs = make([][]float64, 0, n)
 	es.gatherWs = make([]float64, 0, n)
@@ -201,9 +221,12 @@ func newEnvState(env *fl.Env) *envState {
 }
 
 // fits reports whether the cached state still matches the environment's
-// current shape (tests mutate Workers between runs on one Env).
+// current shape (tests mutate Workers between runs on one Env). The
+// codec selection is part of the shape: the worker contexts' compression
+// wiring and the error-feedback accumulator are built for one codec.
 func (es *envState) fits(env *fl.Env) bool {
-	return es.workers == env.WorkerCount() && es.n == len(env.Clients)
+	return es.workers == env.WorkerCount() && es.n == len(env.Clients) &&
+		es.codec == env.Codec && es.frac == env.TopKFrac
 }
 
 // rebind points the cached state at this run's Env pointer and driver.
@@ -223,5 +246,11 @@ func (es *envState) rebind(env *fl.Env, d *RoundDriver) {
 		for i := range es.remoteMask {
 			es.remoteMask[i] = env.Remote.Owns(i)
 		}
+	}
+	// Residuals are per-run state: a cached runtime may have served a
+	// previous method's run on this environment. Resume restores them
+	// from the checkpoint after this reset.
+	if es.ef != nil {
+		es.ef.Reset()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fedclust/internal/methods"
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
+	"fedclust/internal/wire"
 )
 
 // DatasetNames are the three Table-I datasets, in the paper's column order.
@@ -19,6 +20,16 @@ var DatasetNames = []string{"cifar10", "fmnist", "svhn"}
 // this package runs (fedsim's -dtype flag sets it once at startup). The
 // zero value keeps the float64 golden path.
 var DefaultDType fl.DType
+
+// DefaultCodec and DefaultTopKFrac mirror DefaultDType for the uplink
+// parameter codec: fedsim's -codec/-topk-frac flags set them once at
+// startup and every environment built by this package runs under them
+// (experiments that sweep codecs override per run). Zero values keep
+// the dense Float64 golden path.
+var (
+	DefaultCodec    wire.Codec
+	DefaultTopKFrac float64
+)
 
 // MethodNames are the Table-I methods, in the paper's row order.
 var MethodNames = []string{"FedAvg", "FedProx", "CFL", "IFCA", "PACFL", "FedClust"}
@@ -126,6 +137,8 @@ func BuildEnv(w Workload, seed uint64) *fl.Env {
 		Seed:      seed,
 		EvalEvery: w.EvalEvery,
 		DType:     DefaultDType,
+		Codec:     DefaultCodec,
+		TopKFrac:  DefaultTopKFrac,
 	}
 }
 

@@ -318,7 +318,13 @@ func (c *Checkpoint) RestoreResult(res *Result) error {
 	for i := range hr {
 		res.History = append(res.History, RoundMetrics{Round: int(hr[i]), MeanAcc: ha[i], MeanLoss: hl[i]})
 	}
+	// Pricing is run configuration, not accumulated state — the driver
+	// derives it from the environment's codec selection before restoring.
+	// Wiping it here would re-price every post-resume round as dense
+	// Float64 (the zero value) and fork the byte ledger from the
+	// uninterrupted run.
 	res.Comm = CommStats{
+		Pricing: res.Comm.Pricing,
 		UpBytes: cm[0], DownBytes: cm[1],
 		snapUp: cm[2], snapDown: cm[3],
 		MeasuredUp: cm[4], MeasuredDown: cm[5],

@@ -1,17 +1,21 @@
 package fl
 
-import "fmt"
+import (
+	"fmt"
 
-// BytesPerParam is the on-the-wire size of one model scalar (float64).
-// The paper's communication-cost claims are about relative volumes, so the
-// exact width only scales every method identically.
-const BytesPerParam = 8
+	"fedclust/internal/wire"
+)
 
 // CommStats accumulates simulated communication volume. Uplink is
 // client→server, downlink server→client.
 type CommStats struct {
 	UpBytes   int64
 	DownBytes int64
+	// Pricing converts the scalar-count estimates below into framed
+	// transport bytes under the environment's codec selection, so an
+	// in-process run reports exactly what a loopback run measures. The
+	// zero value prices dense Float64 frames.
+	Pricing CommPricing
 	// PerRound records (up, down) per completed round for plots.
 	PerRound []RoundComm
 	// MeasuredUp/MeasuredDown are the subset of the totals that came from
@@ -33,14 +37,25 @@ type RoundComm struct {
 	DownBytes int64
 }
 
-// Upload records nParams scalars uploaded by nClients clients.
+// Upload records nClients uplinks of an nParams-vector, priced as the
+// framed transport messages they would occupy under Pricing (codec
+// payload + metadata + envelope — not a flat 8 bytes/param).
 func (c *CommStats) Upload(nClients, nParams int) {
-	c.UpBytes += int64(nClients) * int64(nParams) * BytesPerParam
+	c.UpBytes += int64(nClients) * c.Pricing.UploadBytesFor(nParams)
 }
 
-// Download records nParams scalars downloaded by nClients clients.
+// UploadDense records nClients uplinks of a dense nParams-vector under
+// an explicit codec, bypassing any sparse uplink pricing — for partial
+// exchanges (e.g. FedClust's final-layer warmup) that always travel
+// dense even when the full-parameter uplink is sparsified.
+func (c *CommStats) UploadDense(nClients, nParams int, codec wire.Codec) {
+	c.UpBytes += int64(nClients) * TrainResponseBytes(codec, nParams)
+}
+
+// Download records nClients downlinks of an nParams-vector, priced like
+// Upload but under the broadcast codec.
 func (c *CommStats) Download(nClients, nParams int) {
-	c.DownBytes += int64(nClients) * int64(nParams) * BytesPerParam
+	c.DownBytes += int64(nClients) * c.Pricing.DownloadBytesFor(nParams)
 }
 
 // UploadBytes records b measured client→server bytes — actual framed

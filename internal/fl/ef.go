@@ -1,0 +1,197 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"fedclust/internal/wire"
+)
+
+// ErrorFeedback is the per-client residual accumulator behind sparse
+// uplinks (Karimireddy et al.'s EF pattern): each round the client
+// transmits the top-k coordinates of (trained + residual) ranked by
+// distance from the broadcast start, and whatever the sparse frame
+// failed to carry becomes the next round's residual instead of being
+// lost. Residuals live with whoever runs the client's local pass — the
+// engine for in-process clients, the node Service for remote ones — and
+// ride fl.Checkpoint named sections so compressed runs resume
+// bit-identically.
+//
+// Visit is safe for concurrent calls with distinct client ids: each
+// client owns a disjoint residual row and all transient state is in the
+// caller's EFScratch.
+type ErrorFeedback struct {
+	Codec wire.Codec // sparse uplink codec (TopK or TopKQuant8)
+	Frac  float64    // normalized kept fraction in (0, 1]
+
+	// res is one residual row per client, each numParams long. A row is
+	// zero until its client first uplinks.
+	res [][]float64
+}
+
+// EFScratch holds one worker's reusable buffers for Visit; zero value
+// ready, zero allocations once warm.
+type EFScratch struct {
+	buf    []byte    // encoded sparse frame
+	target []float64 // trained + residual
+	scores []float64 // |target - start|, also selection scratch
+	sel    []float64 // quickselect scratch
+	idx    []uint32  // kept indices
+	vals   []float64 // kept raw values
+}
+
+// NewErrorFeedback builds an accumulator for nClients clients of
+// numParams-vectors. The codec must be sparse and frac already
+// normalized (NormalizeTopKFrac).
+func NewErrorFeedback(c wire.Codec, frac float64, nClients, numParams int) *ErrorFeedback {
+	if !c.Sparse() {
+		panic(fmt.Sprintf("fl: error feedback with dense codec %s", c))
+	}
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("fl: error feedback frac %g outside (0,1]", frac))
+	}
+	res := make([][]float64, nClients)
+	backing := make([]float64, nClients*numParams)
+	for i := range res {
+		res[i] = backing[i*numParams : (i+1)*numParams : (i+1)*numParams]
+	}
+	return &ErrorFeedback{Codec: c, Frac: frac, res: res}
+}
+
+// NumParams returns the residual row width.
+func (ef *ErrorFeedback) NumParams() int {
+	if len(ef.res) == 0 {
+		return 0
+	}
+	return len(ef.res[0])
+}
+
+// Reset zeroes every residual — a fresh training run. The engine calls
+// this whenever a cached environment is rebound to a new method run;
+// resume then overwrites the rows from the checkpoint.
+func (ef *ErrorFeedback) Reset() {
+	for _, r := range ef.res {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+}
+
+// Visit runs one client uplink through the accumulator: it appends the
+// sparse frame for client's trained vector `out` (relative to the
+// broadcast `start`) to dst, rewrites `out` in place to the exact
+// reconstruction the receiver will hold after applying that frame, and
+// folds the dropped/quantized remainder into the client's residual.
+// Callers that only need the reconstruction (in-process clients) reuse
+// s.buf as dst and discard the return; callers that ship bytes (the
+// node Service) pass their outgoing buffer.
+//
+// The reconstruction is obtained by decoding the frame just encoded —
+// not by mirroring its arithmetic — so sender and receiver states are
+// bit-identical by construction, for any codec.
+func (ef *ErrorFeedback) Visit(dst []byte, client int, start, out []float64, s *EFScratch) []byte {
+	n := len(out)
+	if len(start) != n {
+		panic(fmt.Sprintf("fl: error feedback start len %d, out len %d", len(start), n))
+	}
+	res := ef.res[client]
+	if len(res) != n {
+		panic(fmt.Sprintf("fl: error feedback residual len %d, vector len %d", len(res), n))
+	}
+	if cap(s.target) < n {
+		s.target = make([]float64, n)
+		s.scores = make([]float64, n)
+	}
+	target, scores := s.target[:n], s.scores[:n]
+	for i := 0; i < n; i++ {
+		t := out[i] + res[i]
+		target[i] = t
+		scores[i] = math.Abs(t - start[i])
+	}
+	k := wire.TopKCount(n, ef.Frac)
+	s.idx, s.sel = wire.TopKSelect(s.idx, s.sel, scores, k)
+	if cap(s.vals) < len(s.idx) {
+		s.vals = make([]float64, 0, len(s.idx))
+	}
+	s.vals = s.vals[:0]
+	for _, ix := range s.idx {
+		s.vals = append(s.vals, target[ix])
+	}
+	mark := len(dst)
+	dst = wire.EncodeSparseInto(dst, ef.Codec, n, s.idx, s.vals)
+	copy(out, start)
+	if err := wire.ApplySparseInto(out, dst[mark:]); err != nil {
+		panic(err) // decoding a frame we just encoded cannot fail
+	}
+	for i := 0; i < n; i++ {
+		r := target[i] - out[i]
+		if !isFinite(r) {
+			r = 0
+		}
+		res[i] = r
+	}
+	return dst
+}
+
+// Compress is Visit for callers that never ship the frame: the client's
+// `out` becomes the receiver-side reconstruction and the residual
+// updates, using s.buf as the throwaway encode buffer.
+func (ef *ErrorFeedback) Compress(client int, start, out []float64, s *EFScratch) {
+	s.buf = ef.Visit(s.buf[:0], client, start, out, s)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Checkpoint section names for error-feedback state; the engine writes
+// them alongside its other driver sections.
+const (
+	SecEFMeta = "ef/meta"
+	SecEFRes  = "ef/residuals"
+)
+
+// SaveTo writes the accumulator's identity and residuals into named
+// checkpoint sections.
+func (ef *ErrorFeedback) SaveTo(ck *Checkpoint) {
+	np := ef.NumParams()
+	ck.SetInts(SecEFMeta, []int64{
+		int64(ef.Codec),
+		int64(math.Float64bits(ef.Frac)),
+		int64(len(ef.res)),
+		int64(np),
+	})
+	flat := make([]float64, len(ef.res)*np)
+	for i, r := range ef.res {
+		copy(flat[i*np:], r)
+	}
+	ck.SetVec(SecEFRes, flat)
+}
+
+// LoadFrom restores residuals saved by SaveTo, validating that the
+// checkpoint's accumulator identity matches this one.
+func (ef *ErrorFeedback) LoadFrom(ck *Checkpoint) error {
+	meta, err := ck.Ints(SecEFMeta, 4)
+	if err != nil {
+		return err
+	}
+	np := ef.NumParams()
+	if wire.Codec(meta[0]) != ef.Codec || math.Float64frombits(uint64(meta[1])) != ef.Frac {
+		return fmt.Errorf("fl: checkpoint error-feedback codec %s frac %g, run has %s frac %g",
+			wire.Codec(meta[0]), math.Float64frombits(uint64(meta[1])), ef.Codec, ef.Frac)
+	}
+	if int(meta[2]) != len(ef.res) || int(meta[3]) != np {
+		return fmt.Errorf("fl: checkpoint error-feedback shape %d×%d, run has %d×%d",
+			meta[2], meta[3], len(ef.res), np)
+	}
+	flat, err := ck.Vec(SecEFRes, len(ef.res)*np)
+	if err != nil {
+		return err
+	}
+	for i, r := range ef.res {
+		copy(r, flat[i*np:(i+1)*np])
+	}
+	return nil
+}
+
+// HasEFState reports whether a checkpoint carries error-feedback
+// sections.
+func HasEFState(ck *Checkpoint) bool { return ck.HasInts(SecEFMeta) }

@@ -1,0 +1,238 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedclust/internal/rng"
+	"fedclust/internal/wire"
+)
+
+func efRandVec(r *rng.Rng, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// TestErrorFeedbackInvariant pins the accumulator's defining identity:
+// after Visit, reconstruction + residual == trained + previous residual
+// (the target). Nothing the sparse frame drops is ever lost.
+func TestErrorFeedbackInvariant(t *testing.T) {
+	const n = 200
+	r := rng.New(61)
+	for _, c := range []wire.Codec{wire.TopK, wire.TopKQuant8} {
+		ef := NewErrorFeedback(c, 0.05, 1, n)
+		var s EFScratch
+		start := efRandVec(r, n)
+		prevRes := make([]float64, n)
+		for round := 0; round < 5; round++ {
+			out := efRandVec(r, n)
+			target := make([]float64, n)
+			for i := range target {
+				target[i] = out[i] + prevRes[i]
+			}
+			ef.Compress(0, start, out, &s)
+			for i := range target {
+				if got := out[i] + ef.res[0][i]; math.Abs(got-target[i]) > 1e-12 {
+					t.Fatalf("%s round %d coord %d: reconstruction+residual = %v, target %v",
+						c, round, i, got, target[i])
+				}
+			}
+			copy(prevRes, ef.res[0])
+			copy(start, out) // next broadcast is the reconstruction
+		}
+	}
+}
+
+// TestErrorFeedbackKeepsTopCoordinates: the kept coordinates carry the
+// target exactly under TopK, and the k chosen are the largest
+// |target-start| movers.
+func TestErrorFeedbackKeepsTopCoordinates(t *testing.T) {
+	const n = 100
+	ef := NewErrorFeedback(wire.TopK, 0.05, 1, n) // k = 5
+	var s EFScratch
+	start := make([]float64, n)
+	out := make([]float64, n)
+	big := []int{7, 23, 42, 77, 91}
+	for i, ix := range big {
+		out[ix] = float64(10 + i)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] == 0 {
+			out[i] = 0.001
+		}
+	}
+	ef.Compress(0, start, out, &s)
+	for _, ix := range big {
+		if ef.res[0][ix] != 0 {
+			t.Errorf("kept coordinate %d left residual %v, want 0", ix, ef.res[0][ix])
+		}
+		if out[ix] == start[ix] {
+			t.Errorf("kept coordinate %d was not applied", ix)
+		}
+	}
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if out[i] == 0.001 {
+			t.Fatalf("dropped coordinate %d leaked its trained value into the reconstruction", i)
+		}
+		if ef.res[0][i] == 0.001 {
+			dropped++
+		}
+	}
+	if dropped != n-len(big) {
+		t.Errorf("%d dropped coordinates carried into the residual, want %d", dropped, n-len(big))
+	}
+}
+
+// TestErrorFeedbackVisitFrameShipsReconstruction: the frame Visit
+// returns, applied to the receiver's copy of start, yields exactly the
+// reconstruction the sender kept — sender and receiver bit-identical by
+// construction.
+func TestErrorFeedbackVisitFrameShipsReconstruction(t *testing.T) {
+	const n = 150
+	r := rng.New(62)
+	for _, c := range []wire.Codec{wire.TopK, wire.TopKQuant8} {
+		ef := NewErrorFeedback(c, 0.1, 1, n)
+		var s EFScratch
+		start := efRandVec(r, n)
+		out := efRandVec(r, n)
+		frame := ef.Visit(nil, 0, start, out, &s)
+		if want := TrainResponseBytesSparse(c, n, wire.TopKCount(n, 0.1)) - msgFrameOverhead - updateMetaLen; len(frame) != int(want) {
+			t.Errorf("%s: frame is %d bytes, sizes.go prices %d", c, len(frame), want)
+		}
+		receiver := append([]float64(nil), start...)
+		if err := wire.ApplySparseInto(receiver, frame); err != nil {
+			t.Fatal(err)
+		}
+		for i := range receiver {
+			if receiver[i] != out[i] {
+				t.Fatalf("%s coord %d: receiver %v, sender reconstruction %v", c, i, receiver[i], out[i])
+			}
+		}
+	}
+}
+
+// TestErrorFeedbackNonFiniteResidualDropped: a NaN/Inf trained value is
+// shipped (NaN scores rank highest, so the server's masking layer sees
+// it) and whatever non-finite remainder would poison the residual is
+// zeroed instead of compounding forever.
+func TestErrorFeedbackNonFiniteResidualDropped(t *testing.T) {
+	const n = 50
+	ef := NewErrorFeedback(wire.TopK, 0.02, 1, n) // k = 1
+	var s EFScratch
+	start := make([]float64, n)
+	out := make([]float64, n)
+	out[3] = math.NaN()
+	out[9] = math.Inf(1)
+	ef.Compress(0, start, out, &s)
+	for i, r := range ef.res[0] {
+		if !isFinite(r) {
+			t.Fatalf("residual %d is non-finite: %v", i, r)
+		}
+	}
+}
+
+func TestErrorFeedbackReset(t *testing.T) {
+	const n = 30
+	ef := NewErrorFeedback(wire.TopK, 0.1, 3, n)
+	var s EFScratch
+	r := rng.New(63)
+	for client := 0; client < 3; client++ {
+		ef.Compress(client, efRandVec(r, n), efRandVec(r, n), &s)
+	}
+	ef.Reset()
+	for client := 0; client < 3; client++ {
+		for i, v := range ef.res[client] {
+			if v != 0 {
+				t.Fatalf("client %d residual %d is %v after Reset", client, i, v)
+			}
+		}
+	}
+}
+
+// TestErrorFeedbackCheckpointRoundTrip: SaveTo/LoadFrom restore the
+// residual matrix bit-exactly and refuse identity mismatches.
+func TestErrorFeedbackCheckpointRoundTrip(t *testing.T) {
+	const nClients, n = 4, 40
+	ef := NewErrorFeedback(wire.TopKQuant8, 0.1, nClients, n)
+	var s EFScratch
+	r := rng.New(64)
+	for client := 0; client < nClients; client++ {
+		ef.Compress(client, efRandVec(r, n), efRandVec(r, n), &s)
+	}
+	var ck Checkpoint
+	ef.SaveTo(&ck)
+	if !HasEFState(&ck) {
+		t.Fatal("HasEFState is false after SaveTo")
+	}
+
+	restored := NewErrorFeedback(wire.TopKQuant8, 0.1, nClients, n)
+	if err := restored.LoadFrom(&ck); err != nil {
+		t.Fatal(err)
+	}
+	for client := 0; client < nClients; client++ {
+		for i := range ef.res[client] {
+			if restored.res[client][i] != ef.res[client][i] {
+				t.Fatalf("client %d residual %d: restored %v, saved %v",
+					client, i, restored.res[client][i], ef.res[client][i])
+			}
+		}
+	}
+
+	for name, other := range map[string]*ErrorFeedback{
+		"codec mismatch": NewErrorFeedback(wire.TopK, 0.1, nClients, n),
+		"frac mismatch":  NewErrorFeedback(wire.TopKQuant8, 0.2, nClients, n),
+		"shape mismatch": NewErrorFeedback(wire.TopKQuant8, 0.1, nClients+1, n),
+	} {
+		if err := other.LoadFrom(&ck); err == nil {
+			t.Errorf("%s: LoadFrom accepted foreign EF state", name)
+		}
+	}
+
+	if HasEFState(&Checkpoint{}) {
+		t.Error("HasEFState is true for a checkpoint without EF sections")
+	}
+}
+
+// TestErrorFeedbackVisitZeroAllocWarm: the per-visit uplink path must
+// not touch the heap once scratch is grown — same contract as the dense
+// codecs, so sparse compression adds no per-round garbage.
+func TestErrorFeedbackVisitZeroAllocWarm(t *testing.T) {
+	const n = 4096
+	r := rng.New(65)
+	start := efRandVec(r, n)
+	trained := efRandVec(r, n)
+	out := make([]float64, n)
+	for _, c := range []wire.Codec{wire.TopK, wire.TopKQuant8} {
+		ef := NewErrorFeedback(c, 0.01, 1, n)
+		var s EFScratch
+		ef.Compress(0, start, out, &s) // warm the scratch
+		if allocs := testing.AllocsPerRun(20, func() {
+			copy(out, trained)
+			ef.Compress(0, start, out, &s)
+		}); allocs != 0 {
+			t.Errorf("%s: warm Compress allocated %.1f times", c, allocs)
+		}
+	}
+}
+
+func BenchmarkErrorFeedbackVisit(b *testing.B) {
+	const n = 1 << 16
+	r := rng.New(66)
+	start := efRandVec(r, n)
+	trained := efRandVec(r, n)
+	out := make([]float64, n)
+	ef := NewErrorFeedback(wire.TopK, 0.01, 1, n)
+	var s EFScratch
+	ef.Compress(0, start, out, &s)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(out, trained)
+		ef.Compress(0, start, out, &s)
+	}
+}

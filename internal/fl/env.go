@@ -7,6 +7,7 @@ import (
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
 	"fedclust/internal/sched"
+	"fedclust/internal/wire"
 )
 
 // ModelFactory builds a network with a deterministic architecture whose
@@ -35,6 +36,14 @@ type Env struct {
 	// evaluation (zero value Float64 keeps the golden reference path;
 	// Float32 enables the SIMD float32 kernels).
 	DType DType
+	// Codec selects the uplink parameter codec (zero value Float64 is
+	// the exact reference path). Sparse codecs (wire.TopK,
+	// wire.TopKQuant8) sparsify full-parameter uplinks with per-client
+	// error feedback; the downlink stays dense under Codec.Downlink().
+	Codec wire.Codec
+	// TopKFrac is the kept-coordinate fraction for sparse codecs
+	// (0 means fl.DefaultTopKFrac; ignored by dense codecs).
+	TopKFrac float64
 	// Participation controls per-round client sampling and failure
 	// injection (zero value: full participation, no failures).
 	Participation Participation
@@ -86,6 +95,9 @@ func (e *Env) Validate() {
 	}
 	if e.Rounds < 1 {
 		panic(fmt.Sprintf("fl: Rounds must be positive, got %d", e.Rounds))
+	}
+	if e.TopKFrac < 0 || e.TopKFrac > 1 {
+		panic(fmt.Sprintf("fl: TopKFrac must lie in [0,1], got %g", e.TopKFrac))
 	}
 	e.Local.Validate()
 	e.Participation.Validate()

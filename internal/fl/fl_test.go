@@ -185,16 +185,18 @@ func TestUniformAverageAndDelta(t *testing.T) {
 }
 
 func TestCommStats(t *testing.T) {
-	var c CommStats
-	c.Upload(10, 100)  // 10*100*8 = 8000
-	c.Download(5, 100) // 4000
-	if c.UpBytes != 8000 || c.DownBytes != 4000 || c.Total() != 12000 {
-		t.Fatalf("comm = %+v", c)
+	var c CommStats // zero pricing: dense Float64 frames both ways
+	c.Upload(10, 100)
+	c.Download(5, 100)
+	wantUp := 10 * TrainResponseBytes(wire.Float64, 100)
+	wantDown := 5 * TrainRequestBytes(wire.Float64, 100)
+	if c.UpBytes != wantUp || c.DownBytes != wantDown || c.Total() != wantUp+wantDown {
+		t.Fatalf("comm = %+v, want up %d down %d", c, wantUp, wantDown)
 	}
 	c.EndRound(1)
 	c.Upload(1, 100)
 	c.EndRound(2)
-	if len(c.PerRound) != 2 || c.PerRound[0].UpBytes != 8000 || c.PerRound[1].UpBytes != 800 {
+	if len(c.PerRound) != 2 || c.PerRound[0].UpBytes != wantUp || c.PerRound[1].UpBytes != wantUp/10 {
 		t.Fatalf("per-round = %+v", c.PerRound)
 	}
 	if c.PerRound[1].DownBytes != 0 {

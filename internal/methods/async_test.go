@@ -41,7 +41,7 @@ func TestFedAvgStaleSurvivesScenarioDropout(t *testing.T) {
 	}
 	// Uplink shrinks with the reporting set.
 	full := int64(env.Rounds) * int64(len(env.Clients)) *
-		int64(env.NewModel().NumParams()) * fl.BytesPerParam
+		(fl.CommPricing{}).UploadBytesFor(env.NewModel().NumParams())
 	if res.Comm.UpBytes >= full {
 		t.Fatalf("uplink %d not reduced by scenario dropouts (full %d)", res.Comm.UpBytes, full)
 	}
@@ -66,7 +66,7 @@ func TestFedBuffLearnsWhenEveryClientIsLate(t *testing.T) {
 	// arrival accounting, and can never exceed one update per client per
 	// round.
 	full := int64(env.Rounds) * int64(len(env.Clients)) *
-		int64(env.NewModel().NumParams()) * fl.BytesPerParam
+		(fl.CommPricing{}).UploadBytesFor(env.NewModel().NumParams())
 	if res.Comm.UpBytes <= 0 || res.Comm.UpBytes >= full {
 		t.Fatalf("late-arrival uplink %d outside (0, %d)", res.Comm.UpBytes, full)
 	}
@@ -105,7 +105,7 @@ func TestStragglersReportPartialWork(t *testing.T) {
 	res := FedAvg{}.Run(env)
 	checkBasicResult(t, res, env)
 	full := int64(env.Rounds) * int64(len(env.Clients)) *
-		int64(env.NewModel().NumParams()) * fl.BytesPerParam
+		(fl.CommPricing{}).UploadBytesFor(env.NewModel().NumParams())
 	if res.Comm.UpBytes != full {
 		t.Fatalf("uplink %d, want full %d: a straggler failed to report", res.Comm.UpBytes, full)
 	}
@@ -147,8 +147,8 @@ func TestFedAvgStaleStepsOnEmptyRounds(t *testing.T) {
 		t.Fatal("global frozen across report-free rounds: cached updates not applied")
 	}
 	// Uplink reflects the single reporting round.
-	nParams := int64(env.NewModel().NumParams())
-	if want := int64(len(env.Clients)) * nParams * fl.BytesPerParam; res.Comm.UpBytes != want {
+	nParams := env.NewModel().NumParams()
+	if want := int64(len(env.Clients)) * (fl.CommPricing{}).UploadBytesFor(nParams); res.Comm.UpBytes != want {
 		t.Fatalf("uplink %d, want one full reporting round %d", res.Comm.UpBytes, want)
 	}
 }

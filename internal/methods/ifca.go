@@ -67,9 +67,13 @@ func (f IFCA) Run(env *fl.Env) *fl.Result {
 		nn.LoadParams(ctx.Model, models[best])
 		ctx.Scratch.LocalUpdate(ctx.Model, train, ctx.LocalConfig(), ctx.VisitRng())
 		nn.FlattenParamsInto(ctx.Model, ctx.Out)
-		// IFCA sets no Broadcast hook, so give the corruption its proper
-		// reference point: the cluster model the client trained from.
+		// IFCA sets no Broadcast hook, so give compression and corruption
+		// their proper reference point: the cluster model the client
+		// trained from. (The K-model selection pass itself stays exact —
+		// IFCA never routes remote, so there is no wire image of the
+		// evaluation downloads to mirror.)
 		ctx.Start = models[best]
+		ctx.CompressUplink()
 		ctx.CorruptUplink()
 		ctx.Start = nil
 	}

@@ -92,9 +92,10 @@ func TestFedAvgCommAccounting(t *testing.T) {
 	res := FedAvg{}.Run(env)
 	nParams := env.NewModel().NumParams()
 	n := int64(len(env.Clients))
-	wantUp := int64(env.Rounds) * n * int64(nParams) * fl.BytesPerParam
-	if res.Comm.UpBytes != wantUp || res.Comm.DownBytes != wantUp {
-		t.Fatalf("comm = %+v, want up=down=%d", res.Comm, wantUp)
+	wantUp := int64(env.Rounds) * n * (fl.CommPricing{}).UploadBytesFor(nParams)
+	wantDown := int64(env.Rounds) * n * (fl.CommPricing{}).DownloadBytesFor(nParams)
+	if res.Comm.UpBytes != wantUp || res.Comm.DownBytes != wantDown {
+		t.Fatalf("comm = %+v, want up %d down %d", res.Comm, wantUp, wantDown)
 	}
 	if len(res.Comm.PerRound) != env.Rounds {
 		t.Fatalf("per-round entries = %d", len(res.Comm.PerRound))
@@ -141,7 +142,7 @@ func TestIFCADownlinkCarriesKModels(t *testing.T) {
 	res := IFCA{K: 3}.Run(env)
 	nParams := env.NewModel().NumParams()
 	n := int64(len(env.Clients))
-	wantDown := int64(env.Rounds) * n * 3 * int64(nParams) * fl.BytesPerParam
+	wantDown := int64(env.Rounds) * n * (fl.CommPricing{}).DownloadBytesFor(3*nParams)
 	if res.Comm.DownBytes != wantDown {
 		t.Fatalf("IFCA downlink = %d, want %d (K models per round)", res.Comm.DownBytes, wantDown)
 	}
@@ -267,7 +268,7 @@ func TestPACFLSketchUplinkSmall(t *testing.T) {
 	n := len(env.Clients)
 	// Round-0 sketch upload must be far below one full model per client.
 	sketchBytes := res.ClusterFormationUpBytes
-	fullBytes := int64(n) * int64(nParams) * fl.BytesPerParam
+	fullBytes := int64(n) * (fl.CommPricing{}).UploadBytesFor(nParams)
 	if sketchBytes >= fullBytes {
 		t.Fatalf("PACFL sketch upload %d not below full model upload %d", sketchBytes, fullBytes)
 	}

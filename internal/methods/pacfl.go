@@ -75,9 +75,11 @@ func (p PACFL) Run(env *fl.Env) *fl.Result {
 	env.ParallelClients(n, func(i int) {
 		bases[i] = clientSubspace(env, i, p.P, p.SketchSamples)
 	})
-	// Uplink: each client sends P basis vectors of length dim.
+	// Uplink: each client sends P basis vectors of length dim — a dense
+	// one-shot sketch, framed like any other message but never
+	// sparsified, so it prices under the run's dense (downlink) codec.
 	dim := env.Clients[0].Train.Dim()
-	res.Comm.Upload(n, p.P*dim)
+	res.Comm.UploadDense(n, p.P*dim, res.Comm.Pricing.Down)
 
 	prox := linalg.PairwiseFromFunc(n, func(i, j int) float64 {
 		return linalg.SubspaceDistance(bases[i], bases[j])

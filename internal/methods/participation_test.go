@@ -11,7 +11,7 @@ func TestFedAvgPartialParticipationComm(t *testing.T) {
 	env.Participation = fl.Participation{Fraction: 0.5}
 	res := FedAvg{}.Run(env)
 	nParams := env.NewModel().NumParams()
-	wantUp := int64(env.Rounds) * 5 * int64(nParams) * fl.BytesPerParam
+	wantUp := int64(env.Rounds) * 5 * (fl.CommPricing{}).UploadBytesFor(nParams)
 	if res.Comm.UpBytes != wantUp {
 		t.Fatalf("partial participation uplink = %d, want %d", res.Comm.UpBytes, wantUp)
 	}
@@ -28,13 +28,15 @@ func TestFedAvgSurvivesDropouts(t *testing.T) {
 		t.Fatalf("accuracy under 50%% dropout = %v", res.FinalAcc)
 	}
 	// Uplink must be strictly below the no-failure volume.
-	full := int64(env.Rounds) * int64(len(env.Clients)) *
-		int64(env.NewModel().NumParams()) * fl.BytesPerParam
-	if res.Comm.UpBytes >= full {
-		t.Fatalf("uplink %d not reduced by drops (full %d)", res.Comm.UpBytes, full)
+	nParams := env.NewModel().NumParams()
+	visits := int64(env.Rounds) * int64(len(env.Clients))
+	fullUp := visits * (fl.CommPricing{}).UploadBytesFor(nParams)
+	fullDown := visits * (fl.CommPricing{}).DownloadBytesFor(nParams)
+	if res.Comm.UpBytes >= fullUp {
+		t.Fatalf("uplink %d not reduced by drops (full %d)", res.Comm.UpBytes, fullUp)
 	}
-	if res.Comm.DownBytes != full {
-		t.Fatalf("downlink %d should still cover all invited clients (%d)", res.Comm.DownBytes, full)
+	if res.Comm.DownBytes != fullDown {
+		t.Fatalf("downlink %d should still cover all invited clients (%d)", res.Comm.DownBytes, fullDown)
 	}
 }
 

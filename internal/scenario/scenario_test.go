@@ -155,9 +155,9 @@ func TestSampleRoundScenarioProperties(t *testing.T) {
 }
 
 // TestScenarioCommStatsMatchSampledSizes: a FedAvg run under a scenario
-// accounts exactly len(invited)·numParams downlink and
-// len(reported)·numParams uplink scalars per round — resampling the same
-// environment reproduces the recorded per-round traffic.
+// accounts exactly one framed request per invited client downlink and
+// one framed update per reported client uplink per round — resampling
+// the same environment reproduces the recorded per-round traffic.
 func TestScenarioCommStatsMatchSampledSizes(t *testing.T) {
 	p := fl.Participation{Fraction: 0.75, DropRate: 0.2}
 	env := testEnv(17, p)
@@ -171,8 +171,8 @@ func TestScenarioCommStatsMatchSampledSizes(t *testing.T) {
 	}
 	for r, rc := range res.Comm.PerRound {
 		invited, reported := env.SampleRound(r)
-		wantDown := int64(len(invited)) * int64(nParams) * fl.BytesPerParam
-		wantUp := int64(len(reported)) * int64(nParams) * fl.BytesPerParam
+		wantDown := int64(len(invited)) * (fl.CommPricing{}).DownloadBytesFor(nParams)
+		wantUp := int64(len(reported)) * (fl.CommPricing{}).UploadBytesFor(nParams)
 		if rc.DownBytes != wantDown || rc.UpBytes != wantUp {
 			t.Fatalf("round %d traffic (up %d, down %d), want (up %d, down %d) for %d invited / %d reported",
 				r, rc.UpBytes, rc.DownBytes, wantUp, wantDown, len(invited), len(reported))

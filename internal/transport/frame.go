@@ -22,8 +22,11 @@ import (
 )
 
 // ProtoVersion is the protocol revision; Hello/Welcome exchange it and
-// mismatches abort the handshake.
-const ProtoVersion = 1
+// mismatches abort the handshake. Revision 2 added sparse uplinks: the
+// spec's codec/topk_frac fields direct node behavior, update frames may
+// carry TopK overlays, and requests always travel dense — a v1 peer
+// would misprice or fail to decode all three.
+const ProtoVersion = 2
 
 // MaxFrame bounds a single frame's body. Large enough for any model this
 // simulator trains (a Float64 frame for 16M parameters), small enough

@@ -34,7 +34,13 @@ type lbScratch struct {
 }
 
 // NewLoopback wraps a service in a loopback transport under codec c.
+// A sparse codec requires a service whose env replica selected the same
+// sparsification (the node owns the error-feedback residuals); a
+// mismatch is a construction bug and panics.
 func NewLoopback(svc *Service, c wire.Codec) *Loopback {
+	if c.Sparse() != svc.Sparse() {
+		panic("transport: loopback codec and service env disagree about sparsification")
+	}
 	l := &Loopback{svc: svc, codec: c}
 	l.scratch.New = func() any { return &lbScratch{} }
 	return l
@@ -42,9 +48,25 @@ func NewLoopback(svc *Service, c wire.Codec) *Loopback {
 
 // Train implements Transport.
 func (l *Loopback) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
-	down = int64(TrainRequestSize(l.codec, len(req.Start)))
-	up = int64(TrainResponseSize(l.codec, len(out)))
-	if l.codec == wire.Float64 {
+	// Requests travel under the downlink codec: dense codecs are
+	// symmetric, sparse codecs broadcast dense Float64.
+	dc := l.codec.Downlink()
+	down = int64(TrainRequestSize(dc, len(req.Start)))
+	if l.codec.Sparse() && req.Layer == fl.FullParams {
+		// Sparse uplink: the node trains, sparsifies with error
+		// feedback, and out comes back as the exact reconstruction the
+		// coordinator would decode off a socket. The frame size is
+		// deterministic in (n, kept fraction), so the accounting needs
+		// no bytes in flight.
+		n := len(out)
+		up = int64(TrainResponseSizeSparse(l.codec, n, wire.TopKCount(n, l.svc.ef.Frac)))
+		if err := l.svc.ExecuteCompressed(req, out); err != nil {
+			return down, 0, err
+		}
+		return down, up, nil
+	}
+	up = int64(TrainResponseSize(dc, len(out)))
+	if dc == wire.Float64 {
 		if err := l.svc.Execute(req, out); err != nil {
 			return down, 0, err
 		}
@@ -57,7 +79,7 @@ func (l *Loopback) Train(req *fl.RemoteRequest, out []float64) (down, up int64, 
 	s := l.scratch.Get().(*lbScratch)
 	defer l.scratch.Put(s)
 	var cerr error
-	s.buf = wire.EncodeInto(s.buf[:0], l.codec, req.Start)
+	s.buf = wire.EncodeInto(s.buf[:0], dc, req.Start)
 	if s.vec, cerr = wire.DecodeInto(s.vec, s.buf); cerr != nil {
 		return down, 0, cerr
 	}
@@ -68,7 +90,7 @@ func (l *Loopback) Train(req *fl.RemoteRequest, out []float64) (down, up int64, 
 	}
 	// The update quantizes in place: out was just encoded from out, so
 	// decoding back into it is exact-size by construction.
-	s.buf = wire.EncodeInto(s.buf[:0], l.codec, out)
+	s.buf = wire.EncodeInto(s.buf[:0], dc, out)
 	if _, cerr = wire.DecodeInto(out, s.buf); cerr != nil {
 		return down, 0, cerr
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -32,6 +33,14 @@ type Service struct {
 	numParams int
 	layerDims []int
 	slots     chan *slot
+	// ef is the node-held error-feedback accumulator, non-nil when the
+	// replica environment selects a sparse uplink codec: the residuals
+	// live where the training runs, so a remote client's dropped
+	// coordinates are fed back by the node itself, round after round —
+	// the coordinator only ever sees sparse frames. (They live in this
+	// process: a node restart loses them, a coordinator restart does
+	// not — see DESIGN.md §12.)
+	ef *fl.ErrorFeedback
 }
 
 // slot is one execution lane: a pooled model, its training scratch, and
@@ -43,6 +52,7 @@ type slot struct {
 	vec     []float64 // decoded start parameters (reused)
 	out     []float64 // result vector backing store (cap numParams)
 	enc     []byte    // response frame build buffer (reused)
+	efs     fl.EFScratch
 }
 
 // NewService builds a service over the node's environment replica with
@@ -57,6 +67,9 @@ func NewService(env *fl.Env) *Service {
 	}
 	for k := range s.layerDims {
 		s.layerDims[k] = nn.LayerParamSize(ref, k)
+	}
+	if env.Codec.Sparse() {
+		s.ef = fl.NewErrorFeedback(env.Codec, fl.NormalizeTopKFrac(env.TopKFrac), len(env.Clients), s.numParams)
 	}
 	w := env.WorkerCount()
 	s.slots = make(chan *slot, w)
@@ -73,6 +86,10 @@ func NewService(env *fl.Env) *Service {
 
 // NumParams returns the scalar parameter count of the replica's model.
 func (s *Service) NumParams() int { return s.numParams }
+
+// Sparse reports whether this node sparsifies full-parameter uplinks
+// (the replica environment selected a sparse codec).
+func (s *Service) Sparse() bool { return s.ef != nil }
 
 // outLen returns the result dimension a layer selector produces.
 func (s *Service) outLen(layer int) (int, error) {
@@ -102,6 +119,33 @@ func (s *Service) Execute(req *fl.RemoteRequest, out []float64) error {
 	sl := <-s.slots
 	defer func() { s.slots <- sl }()
 	return s.run(sl, req, out)
+}
+
+// ExecuteCompressed is Execute for a sparsifying node (Sparse() true)
+// and a full-parameter order: it trains, runs the uplink through the
+// node's error-feedback accumulator, and writes into out the exact
+// reconstruction the coordinator would hold after decoding the sparse
+// frame — the Loopback transport's sparse path, bit-identical to the
+// framed one by construction (the reconstruction is produced by
+// encoding and re-decoding the frame, not by mirroring its arithmetic).
+func (s *Service) ExecuteCompressed(req *fl.RemoteRequest, out []float64) error {
+	if s.ef == nil {
+		return fmt.Errorf("transport: node does not sparsify (dense codec)")
+	}
+	if req.Layer != fl.FullParams {
+		return fmt.Errorf("transport: sparse uplink is defined for full-parameter orders, got layer %d", req.Layer)
+	}
+	if len(out) != s.numParams {
+		return fmt.Errorf("transport: result buffer %d values, model has %d", len(out), s.numParams)
+	}
+	sl := <-s.slots
+	defer func() { s.slots <- sl }()
+	if err := s.train(sl, req); err != nil {
+		return err
+	}
+	s.extract(sl, fl.FullParams, out)
+	s.ef.Compress(req.Client, req.Start, out, &sl.efs)
+	return nil
 }
 
 // run trains a slot on the request and extracts the selected vector into
@@ -215,15 +259,26 @@ func (s *Service) Serve(conn net.Conn) (bye bool, err error) {
 					if err != nil {
 						runErr = err
 					} else if runErr = s.train(sl, &req); runErr == nil {
-						// Zero-convert fast path: when the local pass ran in
-						// float32 and the reply is a Float32 full-parameter
-						// frame, encode straight from the trained shadow —
-						// bit-identical to widening and re-rounding, minus
-						// both conversions.
-						if v32, ok := sl.scratch.Params32(); ok &&
-							codec == wire.Float32 && req.Layer == fl.FullParams {
+						v32, has32 := sl.scratch.Params32()
+						switch {
+						case s.ef != nil && req.Layer == fl.FullParams:
+							// Sparse uplink: the reply codec comes from the
+							// node's own env replica, not the request — the
+							// request is always dense (the downlink codec).
+							// Error feedback runs here, where the residuals
+							// live, before the frame leaves the machine.
+							s.extract(sl, req.Layer, sl.out[:n])
+							buf = binary.LittleEndian.AppendUint32(buf, m.ReqID)
+							buf = append(buf, statusOK)
+							buf = s.ef.Visit(buf, req.Client, req.Start, sl.out[:n], &sl.efs)
+						case has32 && codec == wire.Float32 && req.Layer == fl.FullParams:
+							// Zero-convert fast path: when the local pass ran
+							// in float32 and the reply is a Float32
+							// full-parameter frame, encode straight from the
+							// trained shadow — bit-identical to widening and
+							// re-rounding, minus both conversions.
 							buf = appendUpdateOK32(buf, m.ReqID, v32)
-						} else {
+						default:
 							s.extract(sl, req.Layer, sl.out[:n])
 							buf = appendUpdateOK(buf, m.ReqID, codec, sl.out[:n])
 						}

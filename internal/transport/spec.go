@@ -8,6 +8,7 @@ import (
 	"fedclust/internal/fl"
 	"fedclust/internal/nn"
 	"fedclust/internal/rng"
+	"fedclust/internal/wire"
 )
 
 // Spec is the environment description a coordinator ships to joining
@@ -45,6 +46,14 @@ type Spec struct {
 	// agrees on one path per run — the per-request wire codec stays an
 	// independent knob.
 	DType string `json:"dtype,omitempty"`
+	// Codec names the uplink parameter codec every node replies with
+	// ("" keeps float64; see wire.ParseCodec). Like DType it rides the
+	// spec, not the train request: a sparse uplink needs node-held
+	// error-feedback state, so the whole federation must agree on one
+	// codec per run. TopKFrac is the sparse codecs' kept fraction
+	// (0 means fl.DefaultTopKFrac).
+	Codec    string  `json:"codec,omitempty"`
+	TopKFrac float64 `json:"topk_frac,omitempty"`
 }
 
 // Spec size ceilings: generous for anything this simulator trains,
@@ -120,6 +129,12 @@ func (s *Spec) check() error {
 	if _, err := fl.ParseDType(s.DType); err != nil {
 		return fmt.Errorf("transport: spec dtype: %w", err)
 	}
+	if _, err := wire.ParseCodec(s.Codec); err != nil {
+		return fmt.Errorf("transport: spec codec: %w", err)
+	}
+	if s.TopKFrac < 0 || s.TopKFrac > 1 {
+		return fmt.Errorf("transport: spec topk_frac %g outside [0,1]", s.TopKFrac)
+	}
 	return nil
 }
 
@@ -160,7 +175,8 @@ func (s *Spec) Build() (env *fl.Env, err error) {
 	dims = append(dims, s.Dataset.C*s.Dataset.H*s.Dataset.W)
 	dims = append(dims, s.Hidden...)
 	dims = append(dims, s.Dataset.Classes)
-	dtype, _ := fl.ParseDType(s.DType) // validated in check
+	dtype, _ := fl.ParseDType(s.DType)   // validated in check
+	codec, _ := wire.ParseCodec(s.Codec) // validated in check
 	env = &fl.Env{
 		Clients:   clients,
 		Factory:   func(r *rng.Rng) *nn.Sequential { return nn.MLP(r, dims...) },
@@ -169,6 +185,8 @@ func (s *Spec) Build() (env *fl.Env, err error) {
 		Seed:      s.Seed,
 		EvalEvery: s.EvalEvery,
 		DType:     dtype,
+		Codec:     codec,
+		TopKFrac:  s.TopKFrac,
 	}
 	env.Validate()
 	return env, nil

@@ -83,13 +83,20 @@ func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err e
 	}
 	id := t.nextID.Add(1)
 	p := &pendingReq{out: out, done: make(chan error, 1)}
+	if t.codec.Sparse() && req.Layer == fl.FullParams && len(out) == len(req.Start) {
+		// A sparse update is an overlay on the broadcast start: preload
+		// the result buffer with the reference vector so the read loop
+		// can apply the frame's kept coordinates in place.
+		copy(out, req.Start)
+	}
 	t.pmu.Lock()
 	t.pending[id] = p
 	t.pmu.Unlock()
 
 	t.wmu.Lock()
 	buf := beginFrame(t.wbuf[:0], MsgTrain)
-	buf = appendTrainMsg(buf, id, req, t.codec)
+	// Requests travel dense: sparse codecs broadcast under Float64.
+	buf = appendTrainMsg(buf, id, req, t.codec.Downlink())
 	buf = endFrame(buf, 0)
 	t.wbuf = buf
 	t.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -181,6 +188,16 @@ func (t *TCP) readLoop() {
 		p.up = int64(n)
 		if m.Err != "" {
 			p.done <- errors.New(m.Err)
+			continue
+		}
+		if fc, ferr := wire.FrameCodec(m.Frame); ferr == nil && fc.Sparse() {
+			// Sparse overlay onto the preloaded reference (fully
+			// validated, in place — a hostile frame cannot force an
+			// allocation here). Train preloaded out only for sparse
+			// full-parameter requests; an unsolicited sparse reply to
+			// anything else lands on stale contents, which is the same
+			// trust level as any other attacker-chosen vector.
+			p.done <- wire.ApplySparseInto(p.out, m.Frame)
 			continue
 		}
 		dec, derr := wire.DecodeInto(p.out, m.Frame)

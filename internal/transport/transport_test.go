@@ -170,13 +170,11 @@ func TestLoopbackCommAccounting(t *testing.T) {
 		t.Errorf("measured traffic (down %d, up %d) != frame-size model (down %d, up %d)",
 			res.Comm.DownBytes, res.Comm.UpBytes, wantDown, wantUp)
 	}
-	// The frame model is the payload estimate plus fixed per-message
-	// framing — the relationship that keeps estimate and measurement
-	// reconcilable.
-	estimate := visits * int64(numParams) * fl.BytesPerParam
-	overhead := visits * int64(transport.TrainResponseSize(wire.Float64, 0))
-	if res.Comm.UpBytes != estimate+overhead {
-		t.Errorf("uplink %d != estimate %d + framing %d", res.Comm.UpBytes, estimate, overhead)
+	// The in-process estimator prices the same framed bytes the transport
+	// measures — the estimate == measured contract.
+	estimate := visits * (fl.CommPricing{}).UploadBytesFor(numParams)
+	if res.Comm.UpBytes != estimate {
+		t.Errorf("uplink %d != in-process estimate %d", res.Comm.UpBytes, estimate)
 	}
 }
 

@@ -10,6 +10,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -42,6 +43,35 @@ func FuzzDecode(f *testing.F) {
 	badMagic := append([]byte(nil), valid...)
 	badMagic[0] = 0
 	f.Add(badMagic)
+
+	// Sparse frames: their count field is decoupled from the byte length
+	// (k is what's on the wire), so they get their own seed shapes —
+	// valid overlays, truncations, index-contract violations (duplicate,
+	// descending, out-of-range), and an allocation-bomb count.
+	sparseVec := []float64{0.5, -1.25, 2, -3, 0.75, 4.5}
+	for _, c := range []Codec{TopK, TopKQuant8} {
+		f.Add(EncodeSparseInto(nil, c, len(sparseVec), []uint32{1, 3, 5}, []float64{-1.25, -3, 4.5}))
+	}
+	sv := EncodeSparseInto(nil, TopK, len(sparseVec), []uint32{1, 3, 5}, []float64{-1.25, -3, 4.5})
+	f.Add(sv[:headerLen+2]) // truncated inside the kept count
+	f.Add(sv[:headerLen+9]) // truncated inside the index section
+	f.Add(sv[:len(sv)-3])   // truncated inside the checksum
+	reseal := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+		return b
+	}
+	dupIdx := append([]byte(nil), sv...)
+	copy(dupIdx[headerLen+4+4:], dupIdx[headerLen+4:headerLen+4+4]) // index 1 twice
+	f.Add(reseal(dupIdx))
+	descIdx := append([]byte(nil), sv...)
+	copy(descIdx[headerLen+4:], []byte{5, 0, 0, 0}) // 5, 3, 5
+	f.Add(reseal(descIdx))
+	rangeIdx := append([]byte(nil), sv...)
+	binary.LittleEndian.PutUint32(rangeIdx[headerLen+4+4*2:], uint32(len(sparseVec))) // == n
+	f.Add(reseal(rangeIdx))
+	bombCount := append([]byte(nil), sv...)
+	binary.LittleEndian.PutUint32(bombCount[4:8], 1<<30) // n ≫ maxSparseDecode
+	f.Add(reseal(bombCount))
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		vec, err := Decode(frame) // must not panic, whatever the input

@@ -29,6 +29,12 @@ const (
 	// Quant8 is linear 8-bit range quantization: payload carries one
 	// byte per value plus a (min, scale) float64 header pair.
 	Quant8
+	// TopK is the sparse codec: only the k most-changed coordinates
+	// travel, as (index, float64 value) pairs — see sparse.go.
+	TopK
+	// TopKQuant8 composes the two lossy axes: a TopK frame whose kept
+	// values ride the Quant8 range quantizer (1 byte each).
+	TopKQuant8
 )
 
 // String returns the codec name.
@@ -40,6 +46,10 @@ func (c Codec) String() string {
 		return "float32"
 	case Quant8:
 		return "quant8"
+	case TopK:
+		return "topk"
+	case TopKQuant8:
+		return "topk-quant8"
 	default:
 		return fmt.Sprintf("Codec(%d)", uint8(c))
 	}
@@ -50,7 +60,9 @@ const magic = 0xFC5A // "FedClust" frame marker
 // headerLen is the fixed frame prefix length.
 const headerLen = 2 + 1 + 1 + 4
 
-// EncodedSize returns the total frame size for n values under codec c.
+// EncodedSize returns the total frame size for n values under a dense
+// codec c. Sparse codecs panic — their size depends on the kept count,
+// which the caller must supply via EncodedSizeSparse.
 func EncodedSize(c Codec, n int) int {
 	switch c {
 	case Float64:
@@ -59,6 +71,8 @@ func EncodedSize(c Codec, n int) int {
 		return headerLen + 4*n + 4
 	case Quant8:
 		return headerLen + 16 + n + 4
+	case TopK, TopKQuant8:
+		panic(fmt.Sprintf("wire: EncodedSize(%s) needs a kept count — use EncodedSizeSparse", c))
 	default:
 		panic(fmt.Sprintf("wire: unknown codec %d", uint8(c)))
 	}
@@ -146,7 +160,7 @@ func FrameCodec(frame []byte) (Codec, error) {
 		return 0, fmt.Errorf("wire: bad magic %#x%02x", frame[0], frame[1])
 	}
 	switch c := Codec(frame[2]); c {
-	case Float64, Float32, Quant8:
+	case Float64, Float32, Quant8, TopK, TopKQuant8:
 		return c, nil
 	default:
 		return 0, fmt.Errorf("wire: unknown codec %d", uint8(c))
@@ -178,6 +192,10 @@ func DecodeInto(dst []float64, frame []byte) ([]float64, error) {
 	c := Codec(frame[2])
 	switch c {
 	case Float64, Float32, Quant8:
+	case TopK, TopKQuant8:
+		// A sparse frame is an overlay; materialized here against a
+		// zero reference for DecodeInto's uniform dense contract.
+		return decodeSparseInto(dst, frame)
 	default:
 		return nil, fmt.Errorf("wire: unknown codec %d", uint8(c))
 	}
@@ -213,8 +231,15 @@ func DecodeInto(dst []float64, frame []byte) ([]float64, error) {
 }
 
 // MaxError returns the worst-case absolute reconstruction error of codec c
-// on vec (0 for Float64).
+// on vec (0 for Float64). Sparse codecs panic: an unsent coordinate's
+// error equals its full magnitude and is bounded by the error-feedback
+// residual, not by the codec, so a dense-style bound would let
+// divergence tests pass vacuously — use MaxErrorKept for the
+// coordinates a sparse frame actually carries.
 func MaxError(c Codec, vec []float64) float64 {
+	if c.Sparse() {
+		panic(fmt.Sprintf("wire: MaxError(%s) is not defined for sparse codecs — unsent-coordinate error is the EF residual's contract; use MaxErrorKept", c))
+	}
 	dec, err := Decode(Encode(c, vec))
 	if err != nil {
 		panic(err) // encode→decode of a valid vector cannot fail
