@@ -20,6 +20,7 @@
 //	serve            networked federation: run rounds as the coordinator
 //	join             networked federation: serve local training as a node
 //	status           query a running coordinator's HTTP control plane
+//	tail             render a JSONL round journal (optionally following it)
 //
 // Common flags:
 //
@@ -29,6 +30,7 @@
 //	-csv path     also write results as CSV
 //	-codec c      uplink codec: float64, float32, quant8, topk, topk-quant8
 //	-topk-frac F  sparse codecs' kept coordinate fraction (0 = 1% default)
+//	-journal path append a JSONL round journal (one event per round) to path
 //
 // Scenario flags (stragglers):
 //
@@ -59,6 +61,7 @@ import (
 
 	"fedclust/internal/experiments"
 	"fedclust/internal/fl"
+	"fedclust/internal/obs"
 	"fedclust/internal/scenario"
 	"fedclust/internal/wire"
 )
@@ -102,6 +105,9 @@ func main() {
 	controlAddr := fs.String("control", "", "HTTP control-plane listen address, e.g. :7172 (serve; empty = disabled)")
 	rejoinSec := fs.Float64("rejoin", 0, "seconds to keep re-dialing a lost coordinator (join; 0 = exit on disconnect)")
 	triggerCkpt := fs.Bool("trigger-checkpoint", false, "also arm an on-demand checkpoint (status)")
+	journalPath := fs.String("journal", "", "append a JSONL round journal to this file (runs); journal to read (tail)")
+	tailLast := fs.Int("last", 10, "round events to show (tail; 0 = all)")
+	tailFollow := fs.Bool("follow", false, "keep watching the journal for new events (tail)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -143,6 +149,23 @@ func main() {
 	}
 	experiments.DefaultCodec = wcodec
 	experiments.DefaultTopKFrac = *topkFrac
+	if *tailLast < 0 {
+		fmt.Fprintf(os.Stderr, "fedsim: invalid -last %d: must be non-negative (0 shows every round)\n", *tailLast)
+		os.Exit(2)
+	}
+	// -journal on an in-process experiment attaches a round journal to
+	// every environment the process builds (experiments.DefaultObserver,
+	// the DefaultDType pattern). serve wires its own journal so the event
+	// classification knows the run's local-epoch setting; tail reads one.
+	var journal *obs.Journal
+	switch cmd {
+	case "serve", "join", "status", "tail":
+	default:
+		if *journalPath != "" {
+			journal = openJournal(*journalPath, 0)
+			experiments.DefaultObserver = journal
+		}
+	}
 
 	start := time.Now()
 	switch cmd {
@@ -175,6 +198,7 @@ func main() {
 				CheckpointEvery: *ckptEvery,
 				ResumePath:      *resumePath,
 				ControlAddr:     *controlAddr,
+				JournalPath:     *journalPath,
 			})
 	case "join":
 		runJoin(*addr, *nodeName, *rejoinSec)
@@ -182,6 +206,11 @@ func main() {
 		// A status query is not a run: print the snapshot and nothing
 		// else, so the JSON stays pipeable (fedsim status | jq).
 		runStatus(*addr, *triggerCkpt)
+		return
+	case "tail":
+		// Like status, tail is a query, not a run: render and exit so the
+		// output stays pipeable.
+		runTail(*journalPath, *tailLast, *tailFollow)
 		return
 	case "stragglers":
 		// The stragglers default method set adds the staleness-aware
@@ -195,6 +224,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fedsim: unknown experiment %q\n\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: journal write failed: %v\n", err)
+		}
+		journal.Close() //nolint:errcheck
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
 }
@@ -241,6 +276,7 @@ experiments:
   serve            run federated rounds as a network coordinator
   join             serve local training as a node of a coordinator
   status           query a running coordinator's control plane
+  tail             render a JSONL round journal (optionally following it)
 
 flags: -quick, -seed N, -seeds a,b,c, -csv path, -datasets ..., -methods ..., -rounds N, -workers N, -dtype float64|float32
 codec flags: -codec float64|float32|quant8|topk|topk-quant8, -topk-frac F (sparse kept fraction, 0 = 1% default)
@@ -248,7 +284,8 @@ scenario flags (stragglers): -scenario, -deadline D, -straggler-frac F, -dropout
 hostile flags: -attack k, -byzantine-frac a,b,c, -churn F, -drift-frac F, -drift-round N, -aggregator a,b,c
 transport flags (serve/join): -addr host:port, -nodes N, -codec c, -timeout s, -name id, -rejoin s
 checkpoint flags (serve): -checkpoint path, -checkpoint-every N, -resume path, -control addr
-status flags: -addr host:port (the -control address), -trigger-checkpoint`)
+status flags: -addr host:port (the -control address), -trigger-checkpoint
+telemetry flags: -journal path (runs: append JSONL round events; tail: the journal to read), -last N, -follow`)
 }
 
 // explicitMethods returns the parsed -methods list only when the flag

@@ -87,6 +87,7 @@ type serveControl struct {
 	CheckpointEvery int
 	ResumePath      string
 	ControlAddr     string
+	JournalPath     string
 }
 
 // runServe is the coordinator: wait for nodes, run the methods, report.
@@ -161,6 +162,19 @@ func runServe(quick bool, seed uint64, rounds int, addr string, nNodes int,
 
 	tracker := control.NewTracker(env.Local.Epochs)
 	env.Observer = tracker
+	if ctl.JournalPath != "" {
+		// The journal rides alongside the tracker: same observations, one
+		// consumer serving live HTTP, one leaving a trace on disk.
+		journal := openJournal(ctl.JournalPath, env.Local.Epochs)
+		env.Observer = fl.MultiObserver(tracker, journal)
+		defer func() {
+			if err := journal.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "fedsim: journal write failed: %v\n", err)
+			}
+			journal.Close() //nolint:errcheck
+		}()
+		fmt.Printf("journal → %s\n", ctl.JournalPath)
+	}
 	if ctl.ControlAddr != "" {
 		srv, err := control.Serve(ctl.ControlAddr, tracker)
 		if err != nil {

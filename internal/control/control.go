@@ -31,7 +31,7 @@ type ClientCounts struct {
 type Status struct {
 	Method      string `json:"method"`
 	Running     bool   `json:"running"`
-	Round       int    `json:"round"`       // completed rounds
+	Round       int    `json:"round"` // completed rounds
 	TotalRounds int    `json:"total_rounds"`
 	StartRound  int    `json:"start_round"` // > 0: resumed from a checkpoint
 	NClients    int    `json:"n_clients"`
@@ -54,6 +54,17 @@ type Status struct {
 	MeanLoss  float64 `json:"mean_loss"`
 
 	Checkpoints int `json:"checkpoints"` // snapshots emitted so far
+
+	// Aborted is true when the run ended before its configured total
+	// rounds (error, panic, or operator abort) — Running is false either
+	// way once the engine reports the run's end.
+	Aborted bool `json:"aborted"`
+
+	// LastPhases is the most recent round's wall-clock phase breakdown;
+	// PhaseTotals accumulates the whole run. Zero until the engine reports
+	// phase timing (it always does when a tracker observes the run).
+	LastPhases  fl.RoundPhases `json:"last_phases"`
+	PhaseTotals fl.RoundPhases `json:"phase_totals"`
 
 	// Defense counters from the robust-aggregation layer (hostile-world
 	// runs): Masked* counts uplinks dropped for non-finite values,
@@ -109,6 +120,29 @@ func (t *Tracker) ObserveRunStart(method string, totalRounds, nClients, startRou
 	}
 	t.clients = make([]ClientCounts, nClients)
 	t.done, t.lag, t.offline = nil, nil, 0
+	// A trigger armed near the end of a previous run on this tracker must
+	// not fire a spurious snapshot on round 1 of this one.
+	t.trigger.Store(false)
+}
+
+// ObserveRunEnd implements fl.RunEndObserver: the engine reports the
+// run's end from every exit path, so an aborted run never shows
+// running:true forever.
+func (t *Tracker) ObserveRunEnd(completed int, aborted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status.Running = false
+	t.status.Round = completed
+	t.status.Aborted = aborted
+}
+
+// ObservePhases implements fl.PhaseObserver, rolling each round's
+// wall-clock breakdown into the /status snapshot.
+func (t *Tracker) ObservePhases(round int, phases fl.RoundPhases) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status.LastPhases = phases
+	t.status.PhaseTotals.Add(phases)
 }
 
 // ObserveRoundStart implements fl.RoundObserver.
@@ -235,3 +269,5 @@ func grow(s []int, idx int) []int {
 
 var _ fl.RoundObserver = (*Tracker)(nil)
 var _ fl.DefenseObserver = (*Tracker)(nil)
+var _ fl.PhaseObserver = (*Tracker)(nil)
+var _ fl.RunEndObserver = (*Tracker)(nil)

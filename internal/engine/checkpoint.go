@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fedclust/internal/fl"
+	"fedclust/internal/obs"
 )
 
 // Clustered-schedule checkpoint section names (RunClusteredFedAvg owns
@@ -103,6 +104,12 @@ func (d *RoundDriver) maybeCheckpoint(round int) {
 	if !due {
 		return
 	}
+	// Re-arm the phase clock at the checkpoint body: the gap since the
+	// round's last lap is glue, not checkpoint time (TotalNS still covers
+	// it).
+	if d.es.timing {
+		d.es.stamp = obs.Now()
+	}
 	if d.Hooks.SaveState == nil {
 		panic(fmt.Sprintf("engine: %s checkpoint requested but method has no SaveState hook", d.Res.Method))
 	}
@@ -114,8 +121,12 @@ func (d *RoundDriver) maybeCheckpoint(round int) {
 	}
 	d.Hooks.SaveState(c)
 	plan.Sink(c)
-	if obs := d.Env.Observer; obs != nil {
-		obs.ObserveCheckpoint(round + 1)
+	if ob := d.Env.Observer; ob != nil {
+		ob.ObserveCheckpoint(round + 1)
+	}
+	d.es.lap(phCheckpoint)
+	if obs.Enabled() {
+		engineM().checkpoints.Inc()
 	}
 }
 

@@ -587,13 +587,25 @@ func (d *RoundDriver) Run() *fl.Result {
 	if plan := d.Env.Ckpt; plan != nil && plan.Resume != nil {
 		start = d.resume(plan.Resume)
 	}
-	if obs := d.Env.Observer; obs != nil {
-		obs.ObserveRunStart(d.Res.Method, d.Env.Rounds, len(d.Env.Clients), start)
+	if ob := d.Env.Observer; ob != nil {
+		ob.ObserveRunStart(d.Res.Method, d.Env.Rounds, len(d.Env.Clients), start)
 	}
+	// Report the run's end however it ends: the deferred observation fires
+	// on normal completion and on a panic unwinding through the driver, so
+	// a control plane never shows an aborted run as still training.
+	completed, aborted := start, true
+	defer func() {
+		if reo, ok := d.Env.Observer.(fl.RunEndObserver); ok {
+			reo.ObserveRunEnd(completed, aborted)
+		}
+	}()
 	for round := start; round < d.Env.Rounds; round++ {
 		d.RunRound(round)
 		d.maybeCheckpoint(round)
+		d.FinishRound(round)
+		completed = round + 1
 	}
+	aborted = false
 	return d.Res
 }
 
@@ -603,10 +615,13 @@ func (d *RoundDriver) Run() *fl.Result {
 func (d *RoundDriver) RunRound(round int) {
 	env := d.Env
 	es := d.es
-	obs := env.Observer
+	ob := env.Observer
+	es.startRoundTiming(ob)
 	invited, reported := d.sample(round)
-	if obs != nil {
-		obs.ObserveRoundStart(round, len(invited))
+	es.lap(phSample)
+	es.lastInvited = len(invited)
+	if ob != nil {
+		ob.ObserveRoundStart(round, len(invited))
 	}
 	// Reset the per-round failure state — visits the scenario skips must
 	// not leave stale failures behind.
@@ -630,7 +645,9 @@ func (d *RoundDriver) RunRound(round int) {
 		starts = d.Hooks.Broadcast(round)
 	}
 	es.curInvited, es.curStarts, es.curRound = invited, starts, round
+	es.lap(phBroadcast)
 	env.ParallelClientsWorker(len(invited), es.clientTask)
+	es.lap(phLocal)
 	es.curStarts = nil
 	d.maskNonFinite(invited)
 	if es.remoteOn {
@@ -639,10 +656,10 @@ func (d *RoundDriver) RunRound(round int) {
 		reported = d.dropFailed(reported)
 		d.Res.Comm.Upload(len(reported), d.uplink(round))
 	}
-	if obs != nil {
+	if ob != nil {
 		for _, c := range invited {
 			done, lag := d.ScenarioOutcome(c)
-			obs.ObserveOutcome(c, done, lag, es.failMask[c])
+			ob.ObserveOutcome(c, done, lag, es.failMask[c])
 		}
 	}
 	// A scenario round where every device missed the deadline is wasted:
@@ -656,13 +673,15 @@ func (d *RoundDriver) RunRound(round int) {
 		d.Hooks.OnRoundEnd(round)
 	}
 	es.curInvited = nil
+	es.lastReported = len(reported)
 	d.Res.Comm.EndRound(round + 1)
-	if obs != nil {
-		if dobs, ok := obs.(fl.DefenseObserver); ok {
+	if ob != nil {
+		if dobs, ok := ob.(fl.DefenseObserver); ok {
 			dobs.ObserveDefense(round, es.masked, es.suspects)
 		}
-		obs.ObserveRoundEnd(round, len(reported), &d.Res.Comm)
+		ob.ObserveRoundEnd(round, len(reported), &d.Res.Comm)
 	}
+	es.lap(phCombine)
 
 	if env.ShouldEval(round) {
 		per, acc, loss := d.evaluateServed()
@@ -671,9 +690,10 @@ func (d *RoundDriver) RunRound(round int) {
 		// Result owns its own copy (reused across this run's evals).
 		d.Res.PerClientAcc = append(d.Res.PerClientAcc[:0], per...)
 		d.Res.FinalAcc, d.Res.FinalLoss = acc, loss
-		if obs != nil {
-			obs.ObserveEval(round+1, acc, loss)
+		if ob != nil {
+			ob.ObserveEval(round+1, acc, loss)
 		}
+		es.lap(phEval)
 	}
 }
 

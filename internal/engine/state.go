@@ -76,6 +76,18 @@ type envState struct {
 	masked   int
 	suspects int
 
+	// Per-round phase timing (telemetry.go). timing is armed by
+	// startRoundTiming when the process telemetry gate is up or the run's
+	// observer implements fl.PhaseObserver; ph accumulates nanoseconds per
+	// phase slot, stamp is the last lap boundary, roundT0 the round start.
+	// All preallocated in the runtime so a timed round allocates nothing.
+	timing       bool
+	ph           [phCount]int64
+	stamp        int64
+	roundT0      int64
+	lastInvited  int
+	lastReported int
+
 	// Robust-combine scratch (Combine): the per-input deltas from the
 	// combine's starting point, backed by one flat arena, plus the
 	// aggregated delta. Lazily sized to the largest (n, dim) seen.

@@ -31,6 +31,13 @@ var (
 	DefaultTopKFrac float64
 )
 
+// DefaultObserver, when non-nil, is attached to every environment built
+// by this package — the same one-knob pattern as DefaultDType: fedsim's
+// -journal flag sets it once at startup so in-process experiments leave
+// a round journal on disk without threading an observer through every
+// experiment entry point.
+var DefaultObserver fl.RoundObserver
+
 // MethodNames are the Table-I methods, in the paper's row order.
 var MethodNames = []string{"FedAvg", "FedProx", "CFL", "IFCA", "PACFL", "FedClust"}
 
@@ -139,6 +146,7 @@ func BuildEnv(w Workload, seed uint64) *fl.Env {
 		DType:     DefaultDType,
 		Codec:     DefaultCodec,
 		TopKFrac:  DefaultTopKFrac,
+		Observer:  DefaultObserver,
 	}
 }
 

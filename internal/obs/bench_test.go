@@ -1,0 +1,114 @@
+package obs_test
+
+// Hot-path micro-benchmarks for the telemetry layer, the BENCH_pr10.json
+// inputs: collector updates and the span timer must be allocation-free,
+// the journal's per-round event append must be allocation-free once its
+// buffer is warm, and the disabled gate must cost a branch.
+
+import (
+	"io"
+	"testing"
+
+	"fedclust/internal/fl"
+	"fedclust/internal/obs"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total", "", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := obs.NewRegistry().Gauge("bench", "", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", "", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// BenchmarkSpanEnabled is the live cost of one timed section: two clock
+// reads plus a histogram observation.
+func BenchmarkSpanEnabled(b *testing.B) {
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+	obs.SetEnabled(true)
+	h := obs.NewRegistry().Histogram("bench_span_seconds", "", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartSpan(h)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanDisabled is the zero-overhead contract: the gate check
+// and nothing else — no clock reads, no atomics.
+func BenchmarkSpanDisabled(b *testing.B) {
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+	obs.SetEnabled(false)
+	h := obs.NewRegistry().Histogram("bench_span_off_seconds", "", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartSpan(h)
+		sp.End()
+	}
+}
+
+// BenchmarkJournalRound appends one complete round event — the
+// observations a real round delivers (start, six outcomes, ledger, eval,
+// phases) hand-formatted into the reused buffer and written once.
+func BenchmarkJournalRound(b *testing.B) {
+	j := obs.NewJournal(io.Discard, 2)
+	j.ObserveRunStart("FedAvg", 1<<30, 6, 0)
+	comm := &fl.CommStats{UpBytes: 1 << 20, DownBytes: 1 << 20, MeasuredUp: 1 << 19, MeasuredDown: 1 << 19}
+	phases := fl.RoundPhases{SampleNS: 1000, BroadcastNS: 2000, LocalNS: 200e6, CombineNS: 1e5, EvalNS: 4e7, TotalNS: 2.5e8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.ObserveRoundStart(i, 6)
+		for c := 0; c < 6; c++ {
+			j.ObserveOutcome(c, 2, 0, false)
+		}
+		j.ObserveRoundEnd(i, 6, comm)
+		j.ObserveEval(i, 0.5, 1.25)
+		j.ObservePhases(i, phases)
+	}
+}
+
+// BenchmarkWritePrometheus scrapes a registry of realistic size (the
+// engine + transport series of a small fleet).
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := obs.NewRegistry()
+	for _, phase := range []string{"sample", "broadcast", "local", "combine", "eval", "checkpoint", "total"} {
+		r.Histogram("fedsim_round_phase_seconds", obs.Label("phase", phase), "", nil).Observe(0.01)
+	}
+	for _, node := range []string{"n-0", "n-1", "n-2"} {
+		l := obs.Label("node", node)
+		r.Counter("fedsim_transport_requests_total", l, "").Add(100)
+		r.Histogram("fedsim_transport_rtt_seconds", l, "", nil).Observe(0.02)
+	}
+	obs.RegisterProcessMetrics(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -71,6 +71,40 @@ type Pool struct {
 	widSeq atomic.Int64 // worker-id sequence (claimant is always 0)
 	exits  atomic.Int64 // woken workers still inside their item loop
 	done   chan struct{}
+
+	// Lifetime counters (Stats). Updated once per region — never per
+	// item — so the telemetry cost is two atomic adds per parallel phase.
+	// nworkers mirrors len(workers) atomically so Stats never contends
+	// with the region claim (Size does, and blocks for a whole region).
+	regions  atomic.Uint64
+	serial   atomic.Uint64
+	items    atomic.Uint64
+	nworkers atomic.Int64
+}
+
+// Stats is a snapshot of a pool's lifetime execution counters — the
+// control plane exposes the default pool's as pull-based metrics.
+type Stats struct {
+	// Regions counts parallel regions run to completion; Serial counts
+	// submissions that ran inline on the caller (width ≤ 1, nested or
+	// concurrent claim, shut-down pool).
+	Regions uint64
+	Serial  uint64
+	// Items counts work items executed across both paths.
+	Items uint64
+	// Workers is the number of persistent worker goroutines spawned.
+	Workers int
+}
+
+// Stats returns the pool's lifetime counters. Lock-free: safe to call
+// from a scrape while a region is running.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Regions: p.regions.Load(),
+		Serial:  p.serial.Load(),
+		Items:   p.items.Load(),
+		Workers: int(p.nworkers.Load()),
+	}
 }
 
 // New returns an empty pool. Workers are spawned lazily by the first
@@ -109,6 +143,8 @@ func (p *Pool) Run(n, width int, fn func(worker, i int)) {
 		width = n
 	}
 	if width <= 1 || !p.TryAcquire() {
+		p.serial.Add(1)
+		p.items.Add(uint64(n))
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
@@ -158,16 +194,21 @@ func (p *Pool) RunAcquired(n, width int, fn func(worker, i int)) {
 		width = n
 	}
 	if width <= 1 {
+		p.serial.Add(1)
+		p.items.Add(uint64(n))
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
 		return
 	}
+	p.regions.Add(1)
+	p.items.Add(uint64(n))
 
 	wake := width - 1
 	for len(p.workers) < wake {
 		ch := make(chan struct{}, 1)
 		p.workers = append(p.workers, ch)
+		p.nworkers.Store(int64(len(p.workers)))
 		p.wg.Add(1)
 		go p.work(ch)
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"fedclust/internal/obs"
 	"fedclust/internal/wire"
 )
 
@@ -78,6 +79,9 @@ func (c *Coordinator) AcceptNodes(n, nClients int, spec []byte, codec wire.Codec
 			// with real nodes already joined: drop it, keep accepting.
 			conn.Close()
 			continue
+		}
+		if obs.Enabled() {
+			joinsTotal().Inc()
 		}
 		nodes = append(nodes, &Node{
 			TCP: newTCP(conn, name, codec, timeout),

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fedclust/internal/fl"
+	"fedclust/internal/obs"
 	"fedclust/internal/wire"
 )
 
@@ -25,6 +26,9 @@ type Loopback struct {
 	// scratch pools the lossy path's codec buffers across concurrent
 	// visits so warm rounds stay allocation-free under every codec.
 	scratch sync.Pool
+	// m is the telemetry bundle, labeled node="loopback"; updates are
+	// gated on the process telemetry switch.
+	m *nodeMetrics
 }
 
 // lbScratch is one lossy-path round-trip workspace.
@@ -41,13 +45,28 @@ func NewLoopback(svc *Service, c wire.Codec) *Loopback {
 	if c.Sparse() != svc.Sparse() {
 		panic("transport: loopback codec and service env disagree about sparsification")
 	}
-	l := &Loopback{svc: svc, codec: c}
+	l := &Loopback{svc: svc, codec: c, m: newNodeMetrics("loopback")}
 	l.scratch.New = func() any { return &lbScratch{} }
 	return l
 }
 
 // Train implements Transport.
 func (l *Loopback) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
+	rtt := obs.StartSpan(l.m.rtt)
+	down, up, err = l.train(req, out)
+	rtt.End()
+	if obs.Enabled() {
+		l.m.requests.Inc()
+		l.m.downBytes.Add(uint64(down))
+		l.m.upBytes.Add(uint64(up))
+		if err != nil {
+			l.m.errors.Inc()
+		}
+	}
+	return down, up, err
+}
+
+func (l *Loopback) train(req *fl.RemoteRequest, out []float64) (down, up int64, err error) {
 	// Requests travel under the downlink codec: dense codecs are
 	// symmetric, sparse codecs broadcast dense Float64.
 	dc := l.codec.Downlink()

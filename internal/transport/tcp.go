@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fedclust/internal/fl"
+	"fedclust/internal/obs"
 	"fedclust/internal/wire"
 )
 
@@ -44,6 +45,11 @@ type TCP struct {
 	readDone chan struct{}
 	readErr  error // set before readDone closes
 	closed   atomic.Bool
+
+	// m is this connection's telemetry bundle (per-node request counters,
+	// RTT/encode/decode histograms). Always present; updates are gated on
+	// the process telemetry switch.
+	m *nodeMetrics
 }
 
 // pendingReq is one in-flight request's rendezvous state. claimed
@@ -68,6 +74,7 @@ func newTCP(conn net.Conn, name string, codec wire.Codec, timeout time.Duration)
 		conn: conn, name: name, codec: codec, timeout: timeout,
 		pending:  make(map[uint32]*pendingReq),
 		readDone: make(chan struct{}),
+		m:        newNodeMetrics(name),
 	}
 	go t.readLoop()
 	return t
@@ -94,19 +101,29 @@ func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err e
 	t.pmu.Unlock()
 
 	t.wmu.Lock()
+	enc := obs.StartSpan(t.m.encode)
 	buf := beginFrame(t.wbuf[:0], MsgTrain)
 	// Requests travel dense: sparse codecs broadcast under Float64.
 	buf = appendTrainMsg(buf, id, req, t.codec.Downlink())
 	buf = endFrame(buf, 0)
 	t.wbuf = buf
+	enc.End()
 	t.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	sent, werr := t.conn.Write(buf)
 	t.wmu.Unlock()
+	rtt := obs.StartSpan(t.m.rtt)
 	// Measured, not modeled: a failed write counts only what actually
 	// left the process.
 	down = int64(sent)
+	if obs.Enabled() {
+		t.m.requests.Inc()
+		t.m.downBytes.Add(uint64(sent))
+	}
 	if werr != nil {
 		t.forget(id)
+		if obs.Enabled() {
+			t.m.errors.Inc()
+		}
 		return down, 0, fmt.Errorf("transport: send to %s: %w", t.name, werr)
 	}
 
@@ -124,6 +141,7 @@ func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err e
 	}
 	select {
 	case err = <-p.done:
+		t.settle(rtt, p.up)
 		return down, p.up, wrap(err)
 	case <-deadline:
 		t.forget(id)
@@ -132,7 +150,11 @@ func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err e
 			// out is committed or in flight, so the result must be
 			// consumed — out is not safe to reclaim until it lands.
 			err = <-p.done
+			t.settle(rtt, p.up)
 			return down, p.up, wrap(err)
+		}
+		if obs.Enabled() {
+			t.m.timeouts.Inc()
 		}
 		return down, 0, fmt.Errorf("transport: %s: client %d round %d update after %v: %w",
 			t.name, req.Client, req.Round, t.timeout, ErrTimeout)
@@ -141,9 +163,22 @@ func (t *TCP) Train(req *fl.RemoteRequest, out []float64) (down, up int64, err e
 		if !p.claimed.CompareAndSwap(false, true) {
 			// Delivered concurrently with the read loop's exit.
 			err = <-p.done
+			t.settle(rtt, p.up)
 			return down, p.up, wrap(err)
 		}
+		if obs.Enabled() {
+			t.m.errors.Inc()
+		}
 		return down, 0, fmt.Errorf("transport: %s: %w: %v", t.name, ErrClosed, t.readErr)
+	}
+}
+
+// settle closes a delivered request's telemetry: the RTT span ends and
+// the measured response bytes accumulate.
+func (t *TCP) settle(rtt obs.Span, up int64) {
+	rtt.End()
+	if obs.Enabled() {
+		t.m.upBytes.Add(uint64(up))
 	}
 }
 
@@ -190,6 +225,7 @@ func (t *TCP) readLoop() {
 			p.done <- errors.New(m.Err)
 			continue
 		}
+		dec := obs.StartSpan(t.m.decode)
 		if fc, ferr := wire.FrameCodec(m.Frame); ferr == nil && fc.Sparse() {
 			// Sparse overlay onto the preloaded reference (fully
 			// validated, in place — a hostile frame cannot force an
@@ -197,13 +233,16 @@ func (t *TCP) readLoop() {
 			// full-parameter requests; an unsolicited sparse reply to
 			// anything else lands on stale contents, which is the same
 			// trust level as any other attacker-chosen vector.
-			p.done <- wire.ApplySparseInto(p.out, m.Frame)
+			aerr := wire.ApplySparseInto(p.out, m.Frame)
+			dec.End()
+			p.done <- aerr
 			continue
 		}
-		dec, derr := wire.DecodeInto(p.out, m.Frame)
-		if derr == nil && len(dec) != len(p.out) {
-			derr = fmt.Errorf("update carries %d values, expected %d", len(dec), len(p.out))
+		vals, derr := wire.DecodeInto(p.out, m.Frame)
+		if derr == nil && len(vals) != len(p.out) {
+			derr = fmt.Errorf("update carries %d values, expected %d", len(vals), len(p.out))
 		}
+		dec.End()
 		p.done <- derr
 	}
 	t.readErr = exitErr

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"sync"
+
+	"fedclust/internal/obs"
+)
+
+// nodeMetrics is one node connection's bundle in the process registry,
+// labeled node="<name>". Built once at connection setup (registration
+// allocates; the registry deduplicates a reconnecting node's series by
+// label, so counters survive reconnects as cumulative totals). Every
+// update on the request path is gated on obs.Enabled(), keeping the
+// disabled cost to one atomic load per site.
+type nodeMetrics struct {
+	requests  *obs.Counter
+	timeouts  *obs.Counter
+	errors    *obs.Counter
+	upBytes   *obs.Counter
+	downBytes *obs.Counter
+	rtt       *obs.Histogram
+	encode    *obs.Histogram
+	decode    *obs.Histogram
+}
+
+func newNodeMetrics(node string) *nodeMetrics {
+	r := obs.Default()
+	l := obs.Label("node", node)
+	return &nodeMetrics{
+		requests: r.Counter("fedsim_transport_requests_total", l,
+			"Train requests sent to a node."),
+		timeouts: r.Counter("fedsim_transport_timeouts_total", l,
+			"Train requests that missed the per-request deadline."),
+		errors: r.Counter("fedsim_transport_errors_total", l,
+			"Train requests lost to write errors or a dead connection."),
+		upBytes: r.Counter("fedsim_transport_up_bytes_total", l,
+			"Measured update bytes received from a node."),
+		downBytes: r.Counter("fedsim_transport_down_bytes_total", l,
+			"Measured request bytes sent to a node."),
+		rtt: r.Histogram("fedsim_transport_rtt_seconds", l,
+			"Train request round-trip time (request written to update delivered).", nil),
+		encode: r.Histogram("fedsim_transport_encode_seconds", l,
+			"Request frame encode time.", nil),
+		decode: r.Histogram("fedsim_transport_decode_seconds", l,
+			"Update frame decode time.", nil),
+	}
+}
+
+var (
+	joinsOnce sync.Once
+	joinsCtr  *obs.Counter
+)
+
+// joinsTotal counts node connections accepted over the process lifetime
+// (initial joins and rejoins after a coordinator restart alike).
+func joinsTotal() *obs.Counter {
+	joinsOnce.Do(func() {
+		joinsCtr = obs.Default().Counter("fedsim_transport_joins_total", "",
+			"Node connections accepted (joins and rejoins).")
+	})
+	return joinsCtr
+}
